@@ -1,0 +1,113 @@
+// Fig. 10 / §3 — multihomed-server load balancing (testbed reproduction).
+//
+// A dual-homed server with two 100 Mb/s links, 10 ms of added latency
+// (dummynet in the paper). 5 long-lived TCP clients on link 1 and 15 on
+// link 2 create a 5-vs-15 congestion imbalance. One minute in, 10
+// multipath flows (able to use both links) start; perfect balancing would
+// shift them entirely onto link 1 so every flow converges toward
+// 200/30 = 6.7 Mb/s. We print the timeline of mean per-group goodput and
+// the final per-link share of the multipath flows.
+#include <memory>
+#include <vector>
+
+#include "cc/coupled.hpp"
+#include "cc/ewtcp.hpp"
+#include "cc/mptcp_lia.hpp"
+#include "harness.hpp"
+#include "topo/two_link.hpp"
+
+namespace mpsim {
+namespace {
+
+void run(const char* name, const cc::CongestionControl& algo) {
+  EventList events;
+  topo::Network net(events);
+  topo::LinkSpec spec;
+  spec.rate_bps = 100e6;
+  spec.one_way_delay = from_ms(5);
+  spec.buf_bytes = topo::bdp_bytes(100e6, from_ms(10));
+  topo::TwoLink links(net, spec, spec);
+
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> tcp1, tcp2, mp;
+  for (int i = 0; i < 5; ++i) {
+    tcp1.push_back(mptcp::make_single_path_tcp(
+        events, "tcp1-" + std::to_string(i), links.fwd(0), links.rev(0)));
+    tcp1.back()->start(from_ms(41 * i));
+  }
+  for (int i = 0; i < 15; ++i) {
+    tcp2.push_back(mptcp::make_single_path_tcp(
+        events, "tcp2-" + std::to_string(i), links.fwd(1), links.rev(1)));
+    tcp2.back()->start(from_ms(29 * i));
+  }
+  const SimTime mp_start = bench::scaled(60);
+  for (int i = 0; i < 10; ++i) {
+    auto conn = std::make_unique<mptcp::MptcpConnection>(
+        events, "mp" + std::to_string(i), algo);
+    conn->add_subflow(links.fwd(0), links.rev(0));
+    conn->add_subflow(links.fwd(1), links.rev(1));
+    conn->start(mp_start + from_ms(37 * i));
+    mp.push_back(std::move(conn));
+  }
+
+  std::printf("--- %s ---\n", name);
+  stats::Table table({"t (s)", "mean TCP link1", "mean TCP link2",
+                      "mean MPTCP total", "MPTCP share on link1 %"});
+
+  auto mean_goodput = [&](auto& flows, std::vector<std::uint64_t>& base,
+                          SimTime dt) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      total += stats::pkts_to_mbps(flows[i]->delivered_pkts() - base[i], dt);
+    }
+    return total / static_cast<double>(flows.size());
+  };
+
+  std::vector<std::uint64_t> b1, b2, bm;
+  std::vector<std::uint64_t> sf0, sf1;
+  const SimTime step = bench::scaled(20);
+  for (SimTime t = step; t <= bench::scaled(160); t += step) {
+    b1.clear();
+    for (auto& f : tcp1) b1.push_back(f->delivered_pkts());
+    b2.clear();
+    for (auto& f : tcp2) b2.push_back(f->delivered_pkts());
+    bm.clear();
+    for (auto& f : mp) bm.push_back(f->delivered_pkts());
+    sf0.clear();
+    sf1.clear();
+    for (auto& f : mp) {
+      sf0.push_back(f->subflow(0).packets_acked());
+      sf1.push_back(f->subflow(1).packets_acked());
+    }
+    events.run_until(t);
+    std::uint64_t d0 = 0, d1 = 0;
+    for (std::size_t i = 0; i < mp.size(); ++i) {
+      d0 += mp[i]->subflow(0).packets_acked() - sf0[i];
+      d1 += mp[i]->subflow(1).packets_acked() - sf1[i];
+    }
+    const double share =
+        (d0 + d1) > 0 ? 100.0 * static_cast<double>(d0) /
+                            static_cast<double>(d0 + d1)
+                      : 0.0;
+    table.add_row(stats::fmt_double(to_sec(t), 0),
+                  {mean_goodput(tcp1, b1, step), mean_goodput(tcp2, b2, step),
+                   mean_goodput(mp, bm, step), share},
+                  1);
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace mpsim
+
+int main() {
+  using namespace mpsim;
+  bench::banner(
+      "Fig. 10 / §3: dual-homed server, 5 vs 15 clients, +10 multipath",
+      "multipath flows (1/3 of flows) shift onto the lighter link 1, "
+      "pulling all rates toward the fair 6.7 Mb/s");
+  run("MPTCP", cc::mptcp_lia());
+  run("COUPLED (paper: similar)", cc::coupled());
+  run("EWTCP (paper: slightly worse)", cc::ewtcp());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Fig. 3 / §2.2 — congestion balancing on the three-link triangle.
+//
+// Links of unequal capacity (we use 12/10/8 Mb/s scaled 4x), flows A, B, C
+// each striping over two links in a cycle. The paper's claim: EWTCP shares
+// each link evenly, so flow totals and link loss rates are unequal;
+// COUPLED uses a path only if it is least-congested, which equalises loss
+// rates and flow totals (total capacity / 3 each). MPTCP lands close to
+// COUPLED. We print per-flow goodput, per-link loss, Jain's index, and the
+// max/min loss-rate ratio.
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "cc/coupled.hpp"
+#include "cc/ewtcp.hpp"
+#include "cc/mptcp_lia.hpp"
+#include "cc/semicoupled.hpp"
+#include "harness.hpp"
+#include "topo/triangle.hpp"
+
+namespace mpsim {
+namespace {
+
+const std::array<double, 3> kRates = {48e6, 40e6, 32e6};
+const SimTime kOneWay = from_ms(10);
+
+struct Result {
+  std::vector<double> flow_mbps;
+  std::vector<double> link_loss;
+  double jain;
+  double loss_ratio;
+};
+
+Result run(const cc::CongestionControl& algo) {
+  EventList events;
+  topo::Network net(events);
+  std::array<std::uint64_t, 3> bufs{};
+  for (int i = 0; i < 3; ++i) {
+    bufs[static_cast<std::size_t>(i)] =
+        topo::bdp_bytes(kRates[static_cast<std::size_t>(i)], 2 * kOneWay);
+  }
+  topo::Triangle tri(net, kRates, kOneWay, bufs);
+  bench::GoodputMeter meter(events);
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> flows;
+  for (int f = 0; f < topo::Triangle::kFlows; ++f) {
+    auto conn = std::make_unique<mptcp::MptcpConnection>(
+        events, std::string("flow") + char('A' + f), algo);
+    conn->add_subflow(tri.fwd(f, 0), tri.rev(f, 0));
+    conn->add_subflow(tri.fwd(f, 1), tri.rev(f, 1));
+    conn->start(from_ms(13 * f));
+    meter.track(*conn);
+    flows.push_back(std::move(conn));
+  }
+  events.run_until(bench::scaled(40));
+  meter.mark();
+  for (int l = 0; l < 3; ++l) tri.queue(l).reset_stats();
+  // Long average: window-based COUPLED sloshes its allocation between
+  // paths on ~10 s timescales.
+  events.run_until(bench::scaled(40) + bench::scaled(360));
+
+  Result r;
+  r.flow_mbps = meter.mbps();
+  for (int l = 0; l < 3; ++l) r.link_loss.push_back(tri.queue(l).loss_rate());
+  r.jain = stats::jain_index(r.flow_mbps);
+  const double lmin = stats::minimum(r.link_loss);
+  r.loss_ratio = lmin > 0 ? stats::maximum(r.link_loss) / lmin : 1e9;
+  return r;
+}
+
+}  // namespace
+}  // namespace mpsim
+
+int main() {
+  using namespace mpsim;
+  bench::banner("Fig. 3 / §2.2: triangle congestion balancing",
+                "EWTCP: unequal totals (11/11/8-like) and unequal loss; "
+                "COUPLED: equal loss and equal totals; MPTCP in between");
+
+  stats::Table table({"algorithm", "flow A", "flow B", "flow C", "Jain",
+                      "max/min link loss"});
+  struct Row {
+    const char* name;
+    const cc::CongestionControl* algo;
+  };
+  const Row rows[] = {
+      {"EWTCP", &cc::ewtcp()},
+      {"SEMICOUPLED", &cc::semicoupled()},
+      {"MPTCP", &cc::mptcp_lia()},
+      {"COUPLED", &cc::coupled()},
+  };
+  for (const Row& row : rows) {
+    const Result r = run(*row.algo);
+    table.add_row(row.name, {r.flow_mbps[0], r.flow_mbps[1], r.flow_mbps[2],
+                             r.jain, r.loss_ratio},
+                  2);
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: EWTCP clearly the worst balancer (the paper's "
+      "point); the coupled family clusters together. Note Fig. 3 is a "
+      "fluid-model argument in the paper — its perfect COUPLED balance "
+      "(every flow %.0f Mb/s) assumes rate-based dynamics that "
+      "window-based COUPLED only approaches on long averages.\n",
+      (48.0 + 40.0 + 32.0) / 3.0);
+  return 0;
+}

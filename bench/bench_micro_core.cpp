@@ -1,0 +1,109 @@
+// Microbenchmarks of the simulator core (google-benchmark): event-loop
+// dispatch, queue+pipe packet forwarding, the LIA increase computation
+// (linear vs brute force), and a complete small TCP simulation. These
+// bound how much simulated time the experiment harness can afford.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cc/mptcp_lia.hpp"
+#include "core/event_list.hpp"
+#include "core/rng.hpp"
+#include "mptcp/connection.hpp"
+#include "net/cbr.hpp"
+#include "net/packet.hpp"
+#include "net/pipe.hpp"
+#include "net/queue.hpp"
+#include "topo/network.hpp"
+
+namespace {
+
+using namespace mpsim;
+
+class NopSource : public EventSource {
+ public:
+  explicit NopSource(EventList& events) : EventSource("nop"), events_(events) {}
+  void on_event() override { events_.schedule_in(*this, 1000); }
+
+ private:
+  EventList& events_;
+};
+
+void BM_EventListDispatch(benchmark::State& state) {
+  EventList events;
+  std::vector<std::unique_ptr<NopSource>> sources;
+  for (int i = 0; i < 64; ++i) {
+    sources.push_back(std::make_unique<NopSource>(events));
+    events.schedule_at(*sources.back(), i);
+  }
+  for (auto _ : state) {
+    events.run_one();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventListDispatch);
+
+void BM_QueuePipeForwarding(benchmark::State& state) {
+  EventList events;
+  net::Queue queue(events, "q", 1e9, 1u << 24);
+  net::Pipe pipe(events, "p", from_us(10));
+  net::CountingSink sink("s");
+  net::Route route({&queue, &pipe, &sink});
+  for (auto _ : state) {
+    net::Packet& pkt = net::Packet::alloc();
+    pkt.type = net::PacketType::kCbr;
+    pkt.send_on(route);
+    events.run_all();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueuePipeForwarding);
+
+void BM_LiaIncreaseLinear(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> w(n), rtt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1 + rng.next_double() * 50;
+    rtt[i] = 0.01 + rng.next_double();
+  }
+  std::size_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cc::MptcpLia::increase_linear(w, rtt, r));
+    r = (r + 1) % n;
+  }
+}
+BENCHMARK(BM_LiaIncreaseLinear)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LiaIncreaseBruteForce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> w(n), rtt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1 + rng.next_double() * 50;
+    rtt[i] = 0.01 + rng.next_double();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cc::MptcpLia::increase_bruteforce(w, rtt, 0));
+  }
+}
+BENCHMARK(BM_LiaIncreaseBruteForce)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SmallTcpSimulation(benchmark::State& state) {
+  // One simulated second of a single TCP over a 10 Mb/s bottleneck.
+  for (auto _ : state) {
+    EventList events;
+    topo::Network net(events);
+    auto link = net.add_link("l", 10e6, from_ms(10),
+                             topo::bdp_bytes(10e6, from_ms(20)));
+    auto& ack = net.add_pipe("a", from_ms(10));
+    auto tcp = mptcp::make_single_path_tcp(
+        events, "t", topo::path_of({&link}), {&ack});
+    tcp->start(0);
+    events.run_until(from_sec(1));
+    benchmark::DoNotOptimize(tcp->delivered_pkts());
+  }
+}
+BENCHMARK(BM_SmallTcpSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

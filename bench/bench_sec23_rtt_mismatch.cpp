@@ -1,0 +1,116 @@
+// §2.3 — the RTT-mismatch thought experiment, analytically and simulated.
+//
+// Paper setup: WiFi path p1 = 4%, RTT 10 ms; 3G path p2 = 1%, RTT 100 ms.
+// Fluid predictions (sqrt(2/p)/RTT): TCP-WiFi 707 pkt/s, TCP-3G 141,
+// EWTCP (707+141)/2 = 424, COUPLED 141. We print those, then measure the
+// packet-level simulator in both the paper-exact setting (where small
+// windows make NewReno timeout-bound — noted in the output) and an
+// 8x-reduced-loss setting where the fluid regime applies cleanly.
+#include <memory>
+
+#include "cc/coupled.hpp"
+#include "cc/ewtcp.hpp"
+#include "cc/mptcp_lia.hpp"
+#include "harness.hpp"
+#include "model/equilibrium.hpp"
+#include "model/tcp_model.hpp"
+
+namespace mpsim {
+namespace {
+
+struct Paths {
+  Paths(topo::Network& net, double p_wifi, double p_3g)
+      : wifi_loss(net.add_lossy("wifi/loss", p_wifi, 11)),
+        wifi_q(net.add_queue("wifi/q", 1e9, 1u << 30)),
+        wifi_pipe(net.add_pipe("wifi/pipe", from_ms(5))),
+        wifi_ack(net.add_pipe("wifi/ack", from_ms(5))),
+        g3_loss(net.add_lossy("3g/loss", p_3g, 13)),
+        g3_q(net.add_queue("3g/q", 1e9, 1u << 30)),
+        g3_pipe(net.add_pipe("3g/pipe", from_ms(50))),
+        g3_ack(net.add_pipe("3g/ack", from_ms(50))) {}
+
+  topo::Path wifi_fwd() { return {&wifi_loss, &wifi_q, &wifi_pipe}; }
+  topo::Path wifi_rev() { return {&wifi_ack}; }
+  topo::Path g3_fwd() { return {&g3_loss, &g3_q, &g3_pipe}; }
+  topo::Path g3_rev() { return {&g3_ack}; }
+
+  net::LossyLink& wifi_loss;
+  net::Queue& wifi_q;
+  net::Pipe& wifi_pipe;
+  net::Pipe& wifi_ack;
+  net::LossyLink& g3_loss;
+  net::Queue& g3_q;
+  net::Pipe& g3_pipe;
+  net::Pipe& g3_ack;
+};
+
+enum class Flavor { kTcpWifi, kTcp3g, kEwtcp, kCoupled, kMptcp };
+
+double run(Flavor flavor, double p_wifi, double p_3g) {
+  EventList events;
+  topo::Network net(events);
+  Paths paths(net, p_wifi, p_3g);
+  std::unique_ptr<mptcp::MptcpConnection> conn;
+  switch (flavor) {
+    case Flavor::kTcpWifi:
+      conn = mptcp::make_single_path_tcp(events, "wifi", paths.wifi_fwd(),
+                                         paths.wifi_rev());
+      break;
+    case Flavor::kTcp3g:
+      conn = mptcp::make_single_path_tcp(events, "3g", paths.g3_fwd(),
+                                         paths.g3_rev());
+      break;
+    default: {
+      const cc::CongestionControl* algo =
+          flavor == Flavor::kEwtcp
+              ? static_cast<const cc::CongestionControl*>(&cc::ewtcp())
+          : flavor == Flavor::kCoupled
+              ? static_cast<const cc::CongestionControl*>(&cc::coupled())
+              : &cc::mptcp_lia();
+      conn = std::make_unique<mptcp::MptcpConnection>(events, "mp", *algo);
+      conn->add_subflow(paths.wifi_fwd(), paths.wifi_rev());
+      conn->add_subflow(paths.g3_fwd(), paths.g3_rev());
+      break;
+    }
+  }
+  conn->start(0);
+  events.run_until(bench::scaled(5));
+  const auto before = conn->delivered_pkts();
+  events.run_until(bench::scaled(5) + bench::scaled(120));
+  return static_cast<double>(conn->delivered_pkts() - before) /
+         to_sec(bench::scaled(120));
+}
+
+void section(const char* title, double p_wifi, double p_3g) {
+  std::printf("--- %s (p_wifi=%.3f, p_3g=%.3f) ---\n", title, p_wifi, p_3g);
+  stats::Table table({"flow", "fluid pkt/s", "simulated pkt/s"});
+  const double f_wifi = model::tcp_rate(p_wifi, 0.010);
+  const double f_3g = model::tcp_rate(p_3g, 0.100);
+  auto eq = model::mptcp_equilibrium({p_wifi, p_3g}, {0.010, 0.100});
+  const double f_mptcp = model::total_rate(eq.windows, {0.010, 0.100});
+  table.add_row("TCP on WiFi path", {f_wifi, run(Flavor::kTcpWifi, p_wifi, p_3g)}, 0);
+  table.add_row("TCP on 3G path", {f_3g, run(Flavor::kTcp3g, p_wifi, p_3g)}, 0);
+  table.add_row("EWTCP", {(f_wifi + f_3g) / 2.0, run(Flavor::kEwtcp, p_wifi, p_3g)}, 0);
+  table.add_row("COUPLED", {f_3g, run(Flavor::kCoupled, p_wifi, p_3g)}, 0);
+  table.add_row("MPTCP", {f_mptcp, run(Flavor::kMptcp, p_wifi, p_3g)}, 0);
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace mpsim
+
+int main() {
+  using namespace mpsim;
+  bench::banner("§2.3: RTT mismatch (WiFi 10 ms vs 3G 100 ms)",
+                "fluid: TCP-WiFi 707, TCP-3G 141, EWTCP 424, COUPLED 141 "
+                "pkt/s; MPTCP's goal is the best single path (707)");
+
+  section("paper-exact losses", 0.04, 0.01);
+  std::printf(
+      "note: at 4%% loss the window is ~7 pkts, so NewReno is timeout-"
+      "dominated and all simulated rates sit below fluid; orderings and "
+      "ratios still match the paper's argument.\n\n");
+  section("fluid-regime losses (8x lower)", 0.005, 0.00125);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared runner for the §4 data-center experiments (FatTree and BCube).
+//
+// For each (src, dst) pair in a traffic matrix it creates either a
+// single-path TCP on one random shortest path (the paper's ECMP stand-in:
+// "we mimicked ECMP in our simulator by making each TCP source pick one of
+// the shortest-hop paths at random") or a multipath connection over up to
+// `npaths` sampled paths.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "cc/uncoupled.hpp"
+#include "harness.hpp"
+#include "topo/bcube.hpp"
+#include "topo/fat_tree.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace mpsim::bench {
+
+struct DcResult {
+  std::vector<double> per_flow_mbps;
+  double per_host_mbps = 0.0;   // aggregate goodput / number of hosts
+  double per_flow_mean = 0.0;   // aggregate goodput / number of flows
+};
+
+struct DcConfig {
+  int npaths = 8;                           // subflows per connection
+  const cc::CongestionControl* algo = nullptr;  // nullptr => single path
+  double warmup_sec = 1.0;
+  double measure_sec = 3.0;
+  std::uint64_t seed = 1;
+  // Datacenter RTTs are ~100s of microseconds; the WAN 200 ms RTO floor
+  // would turn every timeout into a thousand-RTT stall (the classic
+  // incast problem — DC kernels lower the floor, so do we).
+  SimTime min_rto = from_ms(10);
+  std::uint64_t recv_buffer_pkts = 4096;
+};
+
+template <typename PathProvider>
+DcResult run_dc(EventList& events, PathProvider&& provider, int hosts,
+                const std::vector<traffic::FlowPair>& tm,
+                const DcConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> flows;
+  GoodputMeter meter(events);
+  int idx = 0;
+  mptcp::ConnectionConfig ccfg;
+  ccfg.subflow.min_rto = cfg.min_rto;
+  ccfg.recv_buffer_pkts = cfg.recv_buffer_pkts;
+  for (const auto& pair : tm) {
+    const bool single = cfg.algo == nullptr;
+    auto conn = std::make_unique<mptcp::MptcpConnection>(
+        events, "f" + std::to_string(idx),
+        single ? cc::uncoupled() : *cfg.algo, ccfg);
+    auto paths = provider(pair.src, pair.dst, single ? 1 : cfg.npaths, rng);
+    for (auto& pr : paths) {
+      conn->add_subflow(pr.first, pr.second);
+    }
+    conn->start(from_ms(0.5 * static_cast<double>(idx % 997)));
+    meter.track(*conn);
+    flows.push_back(std::move(conn));
+    ++idx;
+  }
+  events.run_until(from_sec(cfg.warmup_sec));
+  meter.mark();
+  events.run_until(from_sec(cfg.warmup_sec + cfg.measure_sec));
+
+  DcResult result;
+  result.per_flow_mbps = meter.mbps();
+  double total = 0.0;
+  for (double v : result.per_flow_mbps) total += v;
+  result.per_host_mbps = total / static_cast<double>(hosts);
+  result.per_flow_mean =
+      tm.empty() ? 0.0 : total / static_cast<double>(tm.size());
+  return result;
+}
+
+// (fwd, rev) path pairs for one connection.
+using PathPair = std::pair<topo::Path, topo::Path>;
+
+inline std::vector<PathPair> fattree_paths(topo::FatTree& ft, int src,
+                                           int dst, int n, Rng& rng) {
+  std::vector<PathPair> out;
+  for (auto& p : ft.sample_paths(src, dst, n, rng)) {
+    auto rev = ft.ack_path(p);
+    out.emplace_back(std::move(p), std::move(rev));
+  }
+  return out;
+}
+
+inline std::vector<PathPair> bcube_paths(topo::BCube& bc, int src, int dst,
+                                         int n, Rng& rng) {
+  std::vector<PathPair> out;
+  if (n <= 1) {
+    // Single-path TCP uses BCube's standard shortest route (digit
+    // correction); for one-digit neighbours that is the direct one-hop
+    // path, never a detour through a relay host.
+    auto p = bc.single_path(src, dst);
+    auto ack = bc.ack_path(p);
+    out.emplace_back(std::move(p), std::move(ack));
+    (void)rng;
+    return out;
+  }
+  auto all = bc.paths(src, dst, rng);
+  for (int i = 0; i < n && i < static_cast<int>(all.size()); ++i) {
+    out.emplace_back(all[static_cast<std::size_t>(i)],
+                     bc.ack_path(all[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+}  // namespace mpsim::bench

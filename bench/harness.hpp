@@ -1,0 +1,82 @@
+// Shared plumbing for the benchmark harness. Each bench binary regenerates
+// one table or figure from the paper's evaluation: it builds the topology,
+// runs the workload past warm-up, and prints the same rows/series the
+// paper reports. Absolute numbers depend on the simulated substrate; the
+// shapes (orderings, crossovers, approximate ratios) are the reproduction
+// target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "core/event_list.hpp"
+#include "mptcp/connection.hpp"
+#include "stats/monitors.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "topo/network.hpp"
+
+namespace mpsim::bench {
+
+// Scale factor for simulated durations: MPSIM_BENCH_SCALE=0.2 runs the
+// whole harness 5x faster (noisier numbers), =1 is the default reported
+// configuration.
+inline double time_scale() {
+  if (const char* s = std::getenv("MPSIM_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+inline SimTime scaled(double seconds) {
+  return from_sec(seconds * time_scale());
+}
+
+// Measure the delivered goodput of each connection between warmup and end.
+class GoodputMeter {
+ public:
+  explicit GoodputMeter(EventList& events) : events_(events) {}
+
+  void track(const mptcp::MptcpConnection& conn) { conns_.push_back(&conn); }
+
+  void mark() {
+    t0_ = events_.now();
+    base_.clear();
+    for (const auto* c : conns_) base_.push_back(c->delivered_pkts());
+  }
+
+  // Per-connection Mb/s since mark().
+  std::vector<double> mbps() const {
+    std::vector<double> out;
+    const SimTime elapsed = events_.now() - t0_;
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      out.push_back(stats::pkts_to_mbps(
+          conns_[i]->delivered_pkts() - base_[i], elapsed));
+    }
+    return out;
+  }
+
+  double total_mbps() const {
+    double total = 0.0;
+    for (double v : mbps()) total += v;
+    return total;
+  }
+
+ private:
+  EventList& events_;
+  std::vector<const mptcp::MptcpConnection*> conns_;
+  std::vector<std::uint64_t> base_;
+  SimTime t0_ = 0;
+};
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper reference: %s\n\n", paper_ref.c_str());
+}
+
+}  // namespace mpsim::bench

@@ -1,0 +1,49 @@
+// Pluggable multipath congestion control.
+//
+// A CongestionControl decides, as a pure function of connection state, (a)
+// the additive increase applied to subflow r's window per newly acked packet
+// during congestion avoidance, and (b) subflow r's new window after a loss
+// event. This is exactly the design space §2 of the paper explores: all five
+// algorithm boxes (REGULAR/uncoupled, EWTCP, COUPLED, SEMICOUPLED, MPTCP)
+// differ only in these two rules.
+//
+// Algorithms are stateless and const; a single instance can serve any number
+// of connections simultaneously.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mpsim::cc {
+
+// The slice of connection state congestion control may read.
+class ConnectionView {
+ public:
+  virtual ~ConnectionView() = default;
+  virtual std::size_t num_subflows() const = 0;
+  virtual double cwnd_pkts(std::size_t r) const = 0;
+  // Smoothed RTT in seconds (a sane fallback before the first sample).
+  virtual double srtt_sec(std::size_t r) const = 0;
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  // Additive window increase (packets) for subflow `r` per acked packet.
+  virtual double increase_per_ack(const ConnectionView& c,
+                                  std::size_t r) const = 0;
+
+  // Subflow r's window (packets) after one loss event. Callers clamp to the
+  // configured minimum (the paper keeps windows >= 1 pkt so every path is
+  // continuously probed, §2.4).
+  virtual double window_after_loss(const ConnectionView& c,
+                                   std::size_t r) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Total window across all subflows, in packets.
+double total_window(const ConnectionView& c);
+
+}  // namespace mpsim::cc

@@ -1,0 +1,24 @@
+#include "cc/coupled.hpp"
+
+#include <algorithm>
+
+namespace mpsim::cc {
+
+double Coupled::increase_per_ack(const ConnectionView& c,
+                                 std::size_t /*r*/) const {
+  return 1.0 / total_window(c);
+}
+
+double Coupled::window_after_loss(const ConnectionView& c,
+                                  std::size_t r) const {
+  // The decrease can exceed w_r; the caller's >= 1 pkt clamp implements the
+  // paper's "in our experiments we bound it to be >= 1 pkt".
+  return std::max(0.0, c.cwnd_pkts(r) - total_window(c) / 2.0);
+}
+
+const Coupled& coupled() {
+  static const Coupled instance;
+  return instance;
+}
+
+}  // namespace mpsim::cc

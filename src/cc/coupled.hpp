@@ -1,0 +1,27 @@
+// COUPLED (§2.2, adapted from Kelly-Voice [15] and Han et al. [10]): fully
+// coupled AIMD that moves all traffic onto the least-congested path.
+//
+//   per ACK on path r:  w_r += 1 / w_total
+//   per loss on path r: w_r -= w_total / 2      (bounded below)
+//
+// With one path this reduces to regular TCP. With equal loss rates,
+// w_total = sqrt(2/p) regardless of path count, solving §2.1's fairness
+// problem. With unequal loss rates the higher-loss paths collapse toward
+// zero window — which is efficient (Fig. 2) but suffers the "trapped flow"
+// problem of §2.4 and the RTT-mismatch problem of §2.3.
+#pragma once
+
+#include "cc/congestion_control.hpp"
+
+namespace mpsim::cc {
+
+class Coupled : public CongestionControl {
+ public:
+  double increase_per_ack(const ConnectionView& c, std::size_t r) const override;
+  double window_after_loss(const ConnectionView& c, std::size_t r) const override;
+  std::string name() const override { return "COUPLED"; }
+};
+
+const Coupled& coupled();
+
+}  // namespace mpsim::cc

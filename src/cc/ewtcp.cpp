@@ -1,0 +1,24 @@
+#include "cc/ewtcp.hpp"
+
+namespace mpsim::cc {
+
+double Ewtcp::weight_for(const ConnectionView& c) const {
+  if (weight_ > 0.0) return weight_;
+  return 1.0 / static_cast<double>(c.num_subflows());
+}
+
+double Ewtcp::increase_per_ack(const ConnectionView& c, std::size_t r) const {
+  const double phi = weight_for(c);
+  return phi * phi / c.cwnd_pkts(r);
+}
+
+double Ewtcp::window_after_loss(const ConnectionView& c, std::size_t r) const {
+  return c.cwnd_pkts(r) / 2.0;
+}
+
+const Ewtcp& ewtcp() {
+  static const Ewtcp instance;
+  return instance;
+}
+
+}  // namespace mpsim::cc

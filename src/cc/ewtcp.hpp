@@ -1,0 +1,39 @@
+// EWTCP (§2.1, after Honda et al. [11]): an equally-weighted TCP per
+// subflow, with no coupling between paths.
+//
+// Behavioural spec from the paper: with weight phi each subflow reaches the
+// equilibrium window phi * w_TCP, so with phi = 1/n the multipath flow takes
+// the same capacity as one regular TCP at a shared bottleneck (Fig. 1), and
+// in §2.3 a two-path EWTCP "is half as aggressive as single-path TCP on each
+// path", totalling (707+141)/2 pkt/s.
+//
+// Since the AIMD equilibrium for (increase = alpha/w, decrease = w/2) is
+// w = sqrt(alpha) * w_TCP, achieving w = phi * w_TCP requires the per-ACK
+// increase alpha = phi^2 / w. (The paper's algorithm box writes the increase
+// constant as `a` with window proportional to a^2 — the same invariant in
+// different notation.)
+#pragma once
+
+#include "cc/congestion_control.hpp"
+
+namespace mpsim::cc {
+
+class Ewtcp : public CongestionControl {
+ public:
+  // weight <= 0 means "auto": phi = 1/n where n is the current number of
+  // subflows (the paper's fairness choice).
+  explicit Ewtcp(double weight = 0.0) : weight_(weight) {}
+
+  double increase_per_ack(const ConnectionView& c, std::size_t r) const override;
+  double window_after_loss(const ConnectionView& c, std::size_t r) const override;
+  std::string name() const override { return "EWTCP"; }
+
+  double weight_for(const ConnectionView& c) const;
+
+ private:
+  double weight_;
+};
+
+const Ewtcp& ewtcp();
+
+}  // namespace mpsim::cc

@@ -1,0 +1,94 @@
+#include "cc/mptcp_lia.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace mpsim::cc {
+
+namespace {
+// Shared scratch state would make the algorithm non-const/non-reentrant;
+// the vectors here are tiny (n <= 16 paths in practice) so per-call stack
+// allocation is cheap relative to the packet-processing around it.
+std::vector<double> snapshot_windows(const ConnectionView& c) {
+  std::vector<double> w(c.num_subflows());
+  for (std::size_t r = 0; r < w.size(); ++r) w[r] = c.cwnd_pkts(r);
+  return w;
+}
+
+std::vector<double> snapshot_rtts(const ConnectionView& c) {
+  std::vector<double> rtt(c.num_subflows());
+  for (std::size_t r = 0; r < rtt.size(); ++r) rtt[r] = c.srtt_sec(r);
+  return rtt;
+}
+}  // namespace
+
+double MptcpLia::increase_linear(const std::vector<double>& windows,
+                                 const std::vector<double>& rtts,
+                                 std::size_t r) {
+  const std::size_t n = windows.size();
+  assert(rtts.size() == n && r < n);
+
+  // Order subflows by w/RTT^2 ascending. Note (sqrt(w)/RTT)^2 = w/RTT^2, so
+  // this is the appendix's sqrt(w_s)/RTT_s ordering.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return windows[a] / (rtts[a] * rtts[a]) < windows[b] / (rtts[b] * rtts[b]);
+  });
+
+  // Position of r in the ordering.
+  std::size_t pos = 0;
+  while (order[pos] != r) ++pos;
+
+  // min over u >= pos of (w_u/RTT_u^2) / (prefix-sum_{t<=u} w_t/RTT_t)^2.
+  double best = std::numeric_limits<double>::infinity();
+  double prefix = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::size_t s = order[u];
+    prefix += windows[s] / rtts[s];
+    if (u < pos) continue;
+    const double numer = windows[s] / (rtts[s] * rtts[s]);
+    best = std::min(best, numer / (prefix * prefix));
+  }
+  return best;
+}
+
+double MptcpLia::increase_bruteforce(const std::vector<double>& windows,
+                                     const std::vector<double>& rtts,
+                                     std::size_t r) {
+  const std::size_t n = windows.size();
+  assert(n <= 20 && "brute force is exponential; test use only");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    if (!(mask & (1u << r))) continue;
+    double numer = 0.0;
+    double denom = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!(mask & (1u << s))) continue;
+      numer = std::max(numer, windows[s] / (rtts[s] * rtts[s]));
+      denom += windows[s] / rtts[s];
+    }
+    best = std::min(best, numer / (denom * denom));
+  }
+  return best;
+}
+
+double MptcpLia::increase_per_ack(const ConnectionView& c,
+                                  std::size_t r) const {
+  return increase_linear(snapshot_windows(c), snapshot_rtts(c), r);
+}
+
+double MptcpLia::window_after_loss(const ConnectionView& c,
+                                   std::size_t r) const {
+  return c.cwnd_pkts(r) / 2.0;
+}
+
+const MptcpLia& mptcp_lia() {
+  static const MptcpLia instance;
+  return instance;
+}
+
+}  // namespace mpsim::cc

@@ -1,0 +1,46 @@
+// MPTCP — the paper's final algorithm (§2 opening box; "Linked Increases"
+// in the later RFC 6356). Per ACK on subflow r the window increases by
+//
+//     min over S subset of R with r in S of
+//         max_{s in S} w_s / RTT_s^2
+//       ( sum_{s in S} w_s / RTT_s )^2                       (eq. (1))
+//
+// and each loss halves w_r. The subset minimisation enforces both fairness
+// requirements of §2.5 simultaneously for every possible bottleneck
+// combination: since S = {r} yields 1/w_r, the increase never exceeds a
+// regular TCP's, and the appendix proves the equilibrium satisfies goals
+// (3) and (4).
+//
+// The appendix also shows the minimising S is always a prefix of the
+// subflows ordered by sqrt(w_s)/RTT_s (equivalently by w_s/RTT_s^2), so the
+// search is linear, not combinatorial. Both the linear-search and the
+// brute-force O(2^n) evaluations are exposed; a property test asserts they
+// agree exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+
+namespace mpsim::cc {
+
+class MptcpLia : public CongestionControl {
+ public:
+  double increase_per_ack(const ConnectionView& c, std::size_t r) const override;
+  double window_after_loss(const ConnectionView& c, std::size_t r) const override;
+  std::string name() const override { return "MPTCP"; }
+
+  // Evaluate eq. (1) directly from window/RTT vectors. `windows` in packets,
+  // `rtts` in seconds. Exposed for tests and the fluid model.
+  static double increase_linear(const std::vector<double>& windows,
+                                const std::vector<double>& rtts,
+                                std::size_t r);
+  static double increase_bruteforce(const std::vector<double>& windows,
+                                    const std::vector<double>& rtts,
+                                    std::size_t r);
+};
+
+const MptcpLia& mptcp_lia();
+
+}  // namespace mpsim::cc

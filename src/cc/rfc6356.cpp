@@ -1,0 +1,35 @@
+#include "cc/rfc6356.hpp"
+
+#include <algorithm>
+
+namespace mpsim::cc {
+
+double Rfc6356::alpha(const ConnectionView& c) {
+  double max_term = 0.0;
+  double sum_term = 0.0;
+  for (std::size_t r = 0; r < c.num_subflows(); ++r) {
+    const double w = c.cwnd_pkts(r);
+    const double rtt = c.srtt_sec(r);
+    max_term = std::max(max_term, w / (rtt * rtt));
+    sum_term += w / rtt;
+  }
+  return total_window(c) * max_term / (sum_term * sum_term);
+}
+
+double Rfc6356::increase_per_ack(const ConnectionView& c,
+                                 std::size_t r) const {
+  const double a = alpha(c);
+  return std::min(a / total_window(c), 1.0 / c.cwnd_pkts(r));
+}
+
+double Rfc6356::window_after_loss(const ConnectionView& c,
+                                  std::size_t r) const {
+  return c.cwnd_pkts(r) / 2.0;
+}
+
+const Rfc6356& rfc6356() {
+  static const Rfc6356 instance;
+  return instance;
+}
+
+}  // namespace mpsim::cc

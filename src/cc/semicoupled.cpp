@@ -1,0 +1,20 @@
+#include "cc/semicoupled.hpp"
+
+namespace mpsim::cc {
+
+double SemiCoupled::increase_per_ack(const ConnectionView& c,
+                                     std::size_t /*r*/) const {
+  return a_ / total_window(c);
+}
+
+double SemiCoupled::window_after_loss(const ConnectionView& c,
+                                      std::size_t r) const {
+  return c.cwnd_pkts(r) / 2.0;
+}
+
+const SemiCoupled& semicoupled() {
+  static const SemiCoupled instance;
+  return instance;
+}
+
+}  // namespace mpsim::cc

@@ -1,0 +1,35 @@
+// SEMICOUPLED (§2.4): couples the increases but halves only the local
+// window on loss, so traffic is biased toward less-congested paths while
+// every path keeps a usable probe window:
+//
+//   per ACK on path r:  w_r += a / w_total
+//   per loss on path r: w_r /= 2
+//
+// Equilibrium (paper): w_r ~ sqrt(2a) * (1/p_r) / sqrt(sum_s 1/p_s) — e.g.
+// paths at 1%/1%/5% loss carry 45%/45%/10% of the window, between EWTCP's
+// even 33% split and COUPLED's 0% on the lossy path. The constant `a` sets
+// aggressiveness; MPTCP (§2.5) is SEMICOUPLED with `a` chosen adaptively
+// for RTT-compensated fairness.
+#pragma once
+
+#include "cc/congestion_control.hpp"
+
+namespace mpsim::cc {
+
+class SemiCoupled : public CongestionControl {
+ public:
+  explicit SemiCoupled(double a = 1.0) : a_(a) {}
+
+  double increase_per_ack(const ConnectionView& c, std::size_t r) const override;
+  double window_after_loss(const ConnectionView& c, std::size_t r) const override;
+  std::string name() const override { return "SEMICOUPLED"; }
+
+  double a() const { return a_; }
+
+ private:
+  double a_;
+};
+
+const SemiCoupled& semicoupled();
+
+}  // namespace mpsim::cc

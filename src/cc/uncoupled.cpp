@@ -1,0 +1,26 @@
+#include "cc/uncoupled.hpp"
+
+namespace mpsim::cc {
+
+double total_window(const ConnectionView& c) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < c.num_subflows(); ++r) total += c.cwnd_pkts(r);
+  return total;
+}
+
+double Uncoupled::increase_per_ack(const ConnectionView& c,
+                                   std::size_t r) const {
+  return 1.0 / c.cwnd_pkts(r);
+}
+
+double Uncoupled::window_after_loss(const ConnectionView& c,
+                                    std::size_t r) const {
+  return c.cwnd_pkts(r) / 2.0;
+}
+
+const Uncoupled& uncoupled() {
+  static const Uncoupled instance;
+  return instance;
+}
+
+}  // namespace mpsim::cc

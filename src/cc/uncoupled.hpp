@@ -1,0 +1,22 @@
+// REGULAR TCP run independently on every subflow (§2.1's strawman): AIMD
+// with increase 1/w_r and decrease w_r/2. With one subflow this *is*
+// NewReno, so it doubles as the simulator's single-path TCP. With n
+// subflows through a shared bottleneck it unfairly takes n times a regular
+// TCP's bandwidth — the problem the coupled algorithms fix.
+#pragma once
+
+#include "cc/congestion_control.hpp"
+
+namespace mpsim::cc {
+
+class Uncoupled : public CongestionControl {
+ public:
+  double increase_per_ack(const ConnectionView& c, std::size_t r) const override;
+  double window_after_loss(const ConnectionView& c, std::size_t r) const override;
+  std::string name() const override { return "UNCOUPLED"; }
+};
+
+// Shared immutable instance (algorithms are stateless).
+const Uncoupled& uncoupled();
+
+}  // namespace mpsim::cc

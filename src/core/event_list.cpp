@@ -1,0 +1,35 @@
+#include "core/event_list.hpp"
+
+#include <cassert>
+
+namespace mpsim {
+
+void EventList::schedule_at(EventSource& src, SimTime t) {
+  assert(t >= now_ && "cannot schedule in the past");
+  if (t < now_) t = now_;  // degrade gracefully in release builds
+  heap_.push(Entry{t, next_seq_++, &src});
+}
+
+bool EventList::run_one() {
+  if (heap_.empty()) return false;
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  ++processed_;
+  e.src->on_event();
+  return true;
+}
+
+void EventList::run_until(SimTime t) {
+  while (!heap_.empty() && heap_.top().time <= t) {
+    run_one();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void EventList::run_all() {
+  while (run_one()) {
+  }
+}
+
+}  // namespace mpsim

@@ -1,0 +1,90 @@
+// Discrete-event scheduler.
+//
+// The simulator is a single-threaded event loop: components that need to act
+// at a future simulated time derive from EventSource and schedule themselves
+// on the EventList. Ties are broken by insertion order so runs are fully
+// deterministic.
+//
+// Cancellation is lazy: a source that no longer wants a pending wake-up simply
+// ignores the callback (sources track their own next valid deadline). This
+// keeps the heap free of tombstone bookkeeping on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace mpsim {
+
+class EventList;
+
+// Anything that can be woken by the scheduler.
+class EventSource {
+ public:
+  explicit EventSource(std::string name) : name_(std::move(name)) {}
+  virtual ~EventSource() = default;
+
+  EventSource(const EventSource&) = delete;
+  EventSource& operator=(const EventSource&) = delete;
+
+  // Called when a scheduled wake-up for this source fires.
+  virtual void on_event() = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class EventList {
+ public:
+  EventList() = default;
+
+  EventList(const EventList&) = delete;
+  EventList& operator=(const EventList&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Wake `src` at absolute time `t` (must be >= now()).
+  void schedule_at(EventSource& src, SimTime t);
+
+  // Wake `src` after `dt` nanoseconds.
+  void schedule_in(EventSource& src, SimTime dt) {
+    schedule_at(src, now_ + dt);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  // Dispatch the earliest pending event. Returns false if none remain.
+  bool run_one();
+
+  // Run events with timestamp <= `t`; afterwards now() == t (even if the
+  // heap drained early), so periodic samplers see a consistent clock.
+  void run_until(SimTime t);
+
+  // Run until no events remain.
+  void run_all();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    EventSource* src;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace mpsim

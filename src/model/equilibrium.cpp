@@ -1,0 +1,53 @@
+#include "model/equilibrium.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "cc/mptcp_lia.hpp"
+#include "model/tcp_model.hpp"
+
+namespace mpsim::model {
+
+MptcpEquilibrium mptcp_equilibrium(const std::vector<double>& loss,
+                                   const std::vector<double>& rtt,
+                                   double tol, int max_iter) {
+  const std::size_t n = loss.size();
+  assert(rtt.size() == n && n > 0);
+
+  MptcpEquilibrium eq;
+  // Start from the single-path TCP windows; the equilibrium lies below.
+  eq.windows.resize(n);
+  for (std::size_t r = 0; r < n; ++r) eq.windows[r] = tcp_window(loss[r]);
+
+  constexpr double kFloor = 1e-9;
+  constexpr double kDamping = 0.25;
+  for (int it = 0; it < max_iter; ++it) {
+    double max_delta = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double inc = cc::MptcpLia::increase_linear(eq.windows, rtt, r);
+      const double target = 2.0 * (1.0 - loss[r]) * inc / loss[r];
+      const double next =
+          std::max(kFloor, eq.windows[r] + kDamping * (target - eq.windows[r]));
+      max_delta = std::max(max_delta,
+                           std::abs(next - eq.windows[r]) /
+                               std::max(1.0, eq.windows[r]));
+      eq.windows[r] = next;
+    }
+    eq.iterations = it + 1;
+    if (max_delta < tol) {
+      eq.converged = true;
+      break;
+    }
+  }
+  return eq;
+}
+
+double total_rate(const std::vector<double>& windows,
+                  const std::vector<double>& rtt) {
+  double rate = 0.0;
+  for (std::size_t r = 0; r < windows.size(); ++r) rate += windows[r] / rtt[r];
+  return rate;
+}
+
+}  // namespace mpsim::model

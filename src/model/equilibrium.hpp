@@ -1,0 +1,36 @@
+// Numeric equilibrium solver for the full MPTCP algorithm (eq. (1)).
+//
+// At equilibrium the per-ACK increases and per-loss decreases balance on
+// every path (appendix):
+//
+//   (1 - p_r) * increase_r(w) = p_r * w_r / 2        for each r.
+//
+// increase_r is the subset-minimised formula, so there is no closed form in
+// general; we solve by damped fixed-point iteration on
+//
+//   w_r  <-  2 (1 - p_r) increase_r(w) / p_r .
+//
+// The solution feeds the fairness property tests (constraints (3)/(4)) and
+// the Fig. 16 predictions.
+#pragma once
+
+#include <vector>
+
+namespace mpsim::model {
+
+struct MptcpEquilibrium {
+  std::vector<double> windows;  // packets
+  bool converged = false;
+  int iterations = 0;
+};
+
+// `loss[r]` per-packet drop probability, `rtt[r]` seconds.
+MptcpEquilibrium mptcp_equilibrium(const std::vector<double>& loss,
+                                   const std::vector<double>& rtt,
+                                   double tol = 1e-10, int max_iter = 200000);
+
+// Aggregate rate sum_r w_r / RTT_r in pkt/s.
+double total_rate(const std::vector<double>& windows,
+                  const std::vector<double>& rtt);
+
+}  // namespace mpsim::model

@@ -1,0 +1,52 @@
+#include "model/fairness.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "model/tcp_model.hpp"
+
+namespace mpsim::model {
+
+FairnessReport check_fairness(const std::vector<double>& windows,
+                              const std::vector<double>& loss,
+                              const std::vector<double>& rtt,
+                              double tolerance) {
+  const std::size_t n = windows.size();
+  assert(loss.size() == n && rtt.size() == n);
+  assert(n <= 24 && "subset enumeration is exponential");
+
+  std::vector<double> rate(n), tcp(n);
+  double total = 0.0;
+  double best_tcp = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    rate[r] = windows[r] / rtt[r];
+    tcp[r] = std::sqrt(2.0 / loss[r]) / rtt[r];
+    total += rate[r];
+    best_tcp = std::max(best_tcp, tcp[r]);
+  }
+
+  FairnessReport report;
+  report.incentive_slack = total - best_tcp;
+  report.incentive_ok = report.incentive_slack >= -tolerance * best_tcp;
+
+  report.worst_harm_slack = std::numeric_limits<double>::infinity();
+  bool ok = true;
+  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    double subset_rate = 0.0;
+    double subset_bound = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!(mask & (1u << r))) continue;
+      subset_rate += rate[r];
+      subset_bound = std::max(subset_bound, tcp[r]);
+    }
+    const double slack = subset_bound - subset_rate;
+    report.worst_harm_slack = std::min(report.worst_harm_slack, slack);
+    if (slack < -tolerance * subset_bound) ok = false;
+  }
+  report.do_no_harm_ok = ok;
+  return report;
+}
+
+}  // namespace mpsim::model

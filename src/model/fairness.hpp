@@ -1,0 +1,34 @@
+// The two fairness requirements of §2.5, as checkable predicates:
+//
+//  (3) incentive:   sum_r w_r/RTT_r  >=  max_r wTCP_r/RTT_r
+//      (a multipath flow does at least as well as single-path TCP on the
+//       best of its paths), and
+//
+//  (4) do-no-harm:  for every subset S,
+//                   sum_{r in S} w_r/RTT_r  <=  max_{r in S} wTCP_r/RTT_r
+//      (on any possible bottleneck the flow takes no more than one TCP).
+//
+// wTCP_r = sqrt(2/p_r) is the window of a hypothetical single-path TCP
+// experiencing path r's loss rate.
+#pragma once
+
+#include <vector>
+
+namespace mpsim::model {
+
+struct FairnessReport {
+  bool incentive_ok = false;       // constraint (3)
+  bool do_no_harm_ok = false;      // constraint (4), all subsets
+  double incentive_slack = 0.0;    // (sum rate) - (best TCP rate); >= 0 ok
+  double worst_harm_slack = 0.0;   // min over S of (TCP bound - subset rate)
+};
+
+// `windows` in packets, `loss` per-packet probabilities, `rtt` seconds.
+// `tolerance` is the relative slack allowed before declaring violation
+// (fluid-model equalities hold only approximately at finite windows).
+FairnessReport check_fairness(const std::vector<double>& windows,
+                              const std::vector<double>& loss,
+                              const std::vector<double>& rtt,
+                              double tolerance = 1e-6);
+
+}  // namespace mpsim::model

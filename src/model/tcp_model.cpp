@@ -1,0 +1,55 @@
+#include "model/tcp_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mpsim::model {
+
+double tcp_window(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  return std::sqrt(2.0 * (1.0 - p) / p);
+}
+
+double tcp_rate(double p, double rtt) {
+  assert(rtt > 0.0);
+  return std::sqrt(2.0 / p) / rtt;
+}
+
+double ewtcp_window(double p, double phi) { return phi * tcp_window(p); }
+
+CoupledEquilibrium coupled_equilibrium(const std::vector<double>& loss) {
+  assert(!loss.empty());
+  CoupledEquilibrium eq;
+  const double pmin = *std::min_element(loss.begin(), loss.end());
+  eq.total_window = tcp_window(pmin);
+  // All window concentrates on the minimum-loss paths (split evenly among
+  // ties; the fluid model leaves the tie-split indeterminate).
+  std::size_t ties = 0;
+  for (double p : loss) {
+    if (p == pmin) ++ties;
+  }
+  eq.windows.resize(loss.size());
+  for (std::size_t r = 0; r < loss.size(); ++r) {
+    eq.windows[r] = (loss[r] == pmin)
+                        ? eq.total_window / static_cast<double>(ties)
+                        : 0.0;
+  }
+  return eq;
+}
+
+std::vector<double> semicoupled_windows(const std::vector<double>& loss,
+                                        double a) {
+  double inv_sum = 0.0;
+  for (double p : loss) {
+    assert(p > 0.0);
+    inv_sum += 1.0 / p;
+  }
+  std::vector<double> w(loss.size());
+  for (std::size_t r = 0; r < loss.size(); ++r) {
+    w[r] = std::sqrt(2.0 * a) * (1.0 / loss[r]) / std::sqrt(inv_sum);
+  }
+  return w;
+}
+
+}  // namespace mpsim::model

@@ -1,0 +1,37 @@
+// Closed-form fluid-model throughput expressions used throughout §2 of the
+// paper. These are the "back of the envelope" the design discussion runs
+// on; the simulator is validated against them in the property tests.
+//
+// Conventions: loss probability p per packet, RTT in seconds, windows in
+// packets, rates in packets/second.
+#pragma once
+
+#include <vector>
+
+namespace mpsim::model {
+
+// Regular TCP equilibrium window: w = sqrt(2(1-p)/p), the balance of
+// +1/w per ACK against -w/2 per loss (paper eq. (2) with one path).
+// The paper's shorthand sqrt(2/p) is the p->0 limit.
+double tcp_window(double p);
+
+// Single-path TCP throughput sqrt(2/p)/RTT pkt/s (§2.3's approximation).
+double tcp_rate(double p, double rtt);
+
+// EWTCP with weight phi: each subflow reaches w_r = phi * tcp_window(p_r).
+double ewtcp_window(double p, double phi);
+
+// COUPLED: total window sqrt(2(1-p)/p) concentrated on the minimum-loss
+// paths; paths with p_r > p_min get zero window (§2.2).
+struct CoupledEquilibrium {
+  double total_window;
+  std::vector<double> windows;  // per path
+};
+CoupledEquilibrium coupled_equilibrium(const std::vector<double>& loss);
+
+// SEMICOUPLED with constant a:
+//   w_r ~= sqrt(2a) * (1/p_r) / sqrt(sum_s 1/p_s)   (paper §2.4)
+std::vector<double> semicoupled_windows(const std::vector<double>& loss,
+                                        double a);
+
+}  // namespace mpsim::model

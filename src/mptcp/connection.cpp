@@ -1,0 +1,177 @@
+#include "mptcp/connection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "cc/uncoupled.hpp"
+
+namespace mpsim::mptcp {
+
+std::uint32_t MptcpConnection::next_flow_id_ = 1;
+
+MptcpConnection::MptcpConnection(EventList& events, std::string name,
+                                 const cc::CongestionControl& cc,
+                                 ConnectionConfig cfg)
+    : EventSource(std::move(name)),
+      events_(events),
+      cc_(cc),
+      cfg_(cfg),
+      flow_id_(next_flow_id_++),
+      scheduler_(cfg.app_limit_pkts, cfg.recv_buffer_pkts),
+      receiver_(events, EventSource::name() + "/rx", flow_id_,
+                cfg.recv_buffer_pkts) {}
+
+tcp::Subflow& MptcpConnection::add_subflow(
+    const std::vector<net::PacketSink*>& fwd_path,
+    const std::vector<net::PacketSink*>& rev_path) {
+  const auto id = static_cast<std::uint32_t>(subflows_.size());
+  auto sub = std::make_unique<tcp::Subflow>(
+      events_, EventSource::name() + "/sf" + std::to_string(id), *this,
+      flow_id_, id, cfg_.subflow);
+
+  auto fwd = std::make_unique<net::Route>();
+  for (auto* hop : fwd_path) fwd->push_back(hop);
+  fwd->push_back(&receiver_);
+
+  auto rev = std::make_unique<net::Route>();
+  for (auto* hop : rev_path) rev->push_back(hop);
+  rev->push_back(sub.get());
+
+  fwd->set_reverse(rev.get());
+  rev->set_reverse(fwd.get());
+
+  sub->set_route(*fwd);
+  receiver_.add_subflow(*rev);
+
+  routes_.push_back(std::move(fwd));
+  routes_.push_back(std::move(rev));
+  subflows_.push_back(std::move(sub));
+
+  // Subflows may join an already-running connection (§6: "additional
+  // subflows can be initiated"; e.g. a newly acquired basestation). Kick
+  // the pump so the newcomer starts pulling data immediately.
+  if (started_ && events_.now() >= start_time_) {
+    events_.schedule_at(*this, events_.now());
+  }
+  return *subflows_.back();
+}
+
+void MptcpConnection::start(SimTime at) {
+  started_ = true;
+  start_time_ = at;
+  events_.schedule_at(*this, at);
+}
+
+void MptcpConnection::on_event() {
+  if (last_data_advance_ == 0) last_data_advance_ = events_.now();
+  pump_all();
+}
+
+void MptcpConnection::pump_all() {
+  if (pumping_) return;  // try_send below re-enters via on_subflow_progress
+  pumping_ = true;
+  for (auto& sub : subflows_) sub->try_send();
+  pumping_ = false;
+}
+
+bool MptcpConnection::next_data(std::uint32_t /*subflow_id*/,
+                                std::uint64_t& data_seq) {
+  return scheduler_.next_data(data_seq);
+}
+
+double MptcpConnection::ca_increase(std::uint32_t subflow_id) {
+  return cc_.increase_per_ack(*this, subflow_id);
+}
+
+double MptcpConnection::window_after_loss(std::uint32_t subflow_id) {
+  return cc_.window_after_loss(*this, subflow_id);
+}
+
+void MptcpConnection::on_data_ack(std::uint64_t data_cum_ack,
+                                  std::uint64_t rcv_window) {
+  scheduler_.on_data_ack(data_cum_ack, rcv_window);
+  if (scheduler_.data_cum_ack() > last_data_cum_) {
+    last_data_cum_ = scheduler_.data_cum_ack();
+    last_data_advance_ = events_.now();
+  }
+  if (scheduler_.complete() && !completion_fired_) {
+    completion_fired_ = true;
+    completed_at_ = events_.now();
+    if (on_complete) on_complete();
+  }
+}
+
+void MptcpConnection::on_subflow_rto(
+    std::uint32_t subflow_id,
+    const std::vector<std::uint64_t>& outstanding) {
+  // Only reinject if a sibling exists to carry the data; the timed-out
+  // subflow itself still go-back-N retransmits on its own schedule.
+  if (subflows_.size() > 1) scheduler_.reinject(outstanding);
+  (void)subflow_id;
+  pump_all();
+}
+
+void MptcpConnection::on_subflow_progress(std::uint32_t /*subflow_id*/) {
+  // An ACK freed window or advanced the flow-control edge; siblings may now
+  // be able to transmit (window-based striping).
+  maybe_reinject_head_of_line();
+  pump_all();
+}
+
+void MptcpConnection::maybe_reinject_head_of_line() {
+  if (subflows_.size() < 2 || cfg_.hol_reinject_timeout <= 0) return;
+  const SimTime now = events_.now();
+  // A stall shorter than a couple of round trips on the slowest path is
+  // normal reordering delay, not head-of-line blocking; only react beyond
+  // that (otherwise long-RTT paths trigger wasteful duplicates).
+  SimTime threshold = cfg_.hol_reinject_timeout;
+  for (const auto& sub : subflows_) {
+    threshold = std::max(threshold, 2 * sub->rtt().srtt());
+  }
+  if (now - last_data_advance_ < threshold) return;
+  if (now - last_hol_reinject_ < threshold) return;
+
+  // The stream is blocked on data seq == data_cum_ack, which lives in some
+  // subflow's outstanding window (possibly deep in a long recovery there).
+  // Reinject the oldest outstanding data so siblings can fill the holes.
+  std::vector<std::uint64_t> outstanding;
+  for (const auto& sub : subflows_) {
+    for (std::uint64_t seq : sub->outstanding_data()) {
+      if (seq >= scheduler_.data_cum_ack()) outstanding.push_back(seq);
+    }
+  }
+  if (outstanding.empty()) return;
+  std::sort(outstanding.begin(), outstanding.end());
+  if (outstanding.size() > cfg_.hol_reinject_batch) {
+    outstanding.resize(cfg_.hol_reinject_batch);
+  }
+  scheduler_.reinject(outstanding);
+  last_hol_reinject_ = now;
+  ++hol_reinjections_;
+}
+
+double MptcpConnection::srtt_sec(std::size_t r) const {
+  return to_sec(subflows_[r]->rtt().srtt(
+      static_cast<SimTime>(cfg_.fallback_rtt_sec * 1e9)));
+}
+
+double MptcpConnection::delivered_mbps(SimTime elapsed) const {
+  if (elapsed <= 0) return 0.0;
+  const double bits = static_cast<double>(receiver_.delivered()) *
+                      net::kDataPacketBytes * 8.0;
+  return bits / to_sec(elapsed) / 1e6;
+}
+
+std::unique_ptr<MptcpConnection> make_single_path_tcp(
+    EventList& events, std::string name,
+    const std::vector<net::PacketSink*>& fwd_path,
+    const std::vector<net::PacketSink*>& rev_path, ConnectionConfig cfg) {
+  auto conn = std::make_unique<MptcpConnection>(events, std::move(name),
+                                                cc::uncoupled(), cfg);
+  conn->add_subflow(fwd_path, rev_path);
+  return conn;
+}
+
+}  // namespace mpsim::mptcp

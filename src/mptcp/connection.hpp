@@ -1,0 +1,148 @@
+// A multipath TCP connection: N subflows, a shared congestion-control
+// algorithm coupling their windows, a data scheduler striping one
+// application stream across them, and the receiving endpoint.
+//
+// This is the library's primary public type. Typical use:
+//
+//   EventList events;
+//   MptcpConnection conn(events, "flow", cc::mptcp_lia());
+//   conn.add_subflow(path1_fwd, path1_rev);
+//   conn.add_subflow(path2_fwd, path2_rev);
+//   conn.start(from_ms(10));
+//   events.run_until(from_sec(30));
+//   double mbps = conn.delivered_mbps(from_sec(30));
+//
+// Paths are the queue/pipe elements *between* the endpoints; the connection
+// appends its own receiver (forward) and subflow (reverse) as final hops.
+// A single-path regular TCP is simply a connection with one subflow and the
+// UNCOUPLED algorithm (to which every coupled algorithm reduces at n = 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+#include "core/event_list.hpp"
+#include "mptcp/receiver.hpp"
+#include "mptcp/scheduler.hpp"
+#include "net/packet.hpp"
+#include "tcp/subflow.hpp"
+
+namespace mpsim::mptcp {
+
+struct ConnectionConfig {
+  // Shared receive buffer in packets. The default is large enough that flow
+  // control only binds in the dedicated §6 experiments.
+  std::uint64_t recv_buffer_pkts = 1u << 20;
+  // Application data to transfer, in packets; 0 = unlimited (long-lived).
+  std::uint64_t app_limit_pkts = 0;
+  // Fallback smoothed RTT (seconds) reported to congestion control before
+  // the first RTT sample on a subflow.
+  double fallback_rtt_sec = 0.1;
+  // Opportunistic head-of-line reinjection: if the data-level cumulative
+  // ACK has not advanced for this long while data is outstanding, the
+  // oldest outstanding data sequence numbers are retransmitted on sibling
+  // subflows. This is how a real MPTCP stack keeps one slow or stalled
+  // subflow (deep in a long NewReno recovery, or in a radio outage) from
+  // head-of-line-blocking the whole stream. 0 disables.
+  SimTime hol_reinject_timeout = from_ms(300);
+  // At most this many data seqs are reinjected per stall check.
+  std::size_t hol_reinject_batch = 64;
+  tcp::SubflowConfig subflow;
+};
+
+class MptcpConnection : public tcp::SubflowHost,
+                        public cc::ConnectionView,
+                        public EventSource {
+ public:
+  MptcpConnection(EventList& events, std::string name,
+                  const cc::CongestionControl& cc, ConnectionConfig cfg = {});
+
+  // Register a path. `fwd_path` / `rev_path` are the network elements data
+  // and ACKs traverse, in order, excluding endpoints. Returns the subflow.
+  // May be called on a running connection: the new subflow joins the
+  // stripe immediately (starting from its configured initial window) and
+  // the coupled congestion controller sees it from the next ACK on.
+  tcp::Subflow& add_subflow(const std::vector<net::PacketSink*>& fwd_path,
+                            const std::vector<net::PacketSink*>& rev_path);
+
+  // Begin transmitting at simulated time `at`.
+  void start(SimTime at);
+
+  // --- SubflowHost (called by the subflows) ---
+  bool next_data(std::uint32_t subflow_id, std::uint64_t& data_seq) override;
+  double ca_increase(std::uint32_t subflow_id) override;
+  double window_after_loss(std::uint32_t subflow_id) override;
+  void on_data_ack(std::uint64_t data_cum_ack,
+                   std::uint64_t rcv_window) override;
+  void on_subflow_rto(std::uint32_t subflow_id,
+                      const std::vector<std::uint64_t>& outstanding) override;
+  void on_subflow_progress(std::uint32_t subflow_id) override;
+
+  // --- cc::ConnectionView (read by the congestion controller) ---
+  std::size_t num_subflows() const override { return subflows_.size(); }
+  double cwnd_pkts(std::size_t r) const override {
+    return subflows_[r]->effective_cwnd();
+  }
+  double srtt_sec(std::size_t r) const override;
+
+  // --- EventSource (start trigger) ---
+  void on_event() override;
+
+  // --- observability ---
+  tcp::Subflow& subflow(std::size_t r) { return *subflows_[r]; }
+  const tcp::Subflow& subflow(std::size_t r) const { return *subflows_[r]; }
+  MptcpReceiver& receiver() { return receiver_; }
+  const MptcpReceiver& receiver() const { return receiver_; }
+  const DataScheduler& scheduler() const { return scheduler_; }
+  const cc::CongestionControl& algorithm() const { return cc_; }
+  std::uint32_t flow_id() const { return flow_id_; }
+
+  // In-order goodput delivered to the receiving application.
+  std::uint64_t delivered_pkts() const { return receiver_.delivered(); }
+  double delivered_mbps(SimTime elapsed) const;
+  bool complete() const { return scheduler_.complete(); }
+  SimTime started_at() const { return start_time_; }
+  SimTime completed_at() const { return completed_at_; }
+
+  // Invoked once when an app-limited stream is fully acknowledged.
+  std::function<void()> on_complete;
+
+  std::uint64_t hol_reinjections() const { return hol_reinjections_; }
+
+ private:
+  void pump_all();
+  void maybe_reinject_head_of_line();
+
+  EventList& events_;
+  const cc::CongestionControl& cc_;
+  ConnectionConfig cfg_;
+  std::uint32_t flow_id_;
+  DataScheduler scheduler_;
+  MptcpReceiver receiver_;
+  std::vector<std::unique_ptr<tcp::Subflow>> subflows_;
+  std::vector<std::unique_ptr<net::Route>> routes_;
+  SimTime start_time_ = 0;
+  SimTime completed_at_ = kNever;
+  bool started_ = false;
+  bool completion_fired_ = false;
+  bool pumping_ = false;
+  // Head-of-line stall tracking.
+  std::uint64_t last_data_cum_ = 0;
+  SimTime last_data_advance_ = 0;
+  SimTime last_hol_reinject_ = 0;
+  std::uint64_t hol_reinjections_ = 0;
+
+  static std::uint32_t next_flow_id_;
+};
+
+// Convenience: a regular single-path TCP (one subflow, UNCOUPLED).
+std::unique_ptr<MptcpConnection> make_single_path_tcp(
+    EventList& events, std::string name,
+    const std::vector<net::PacketSink*>& fwd_path,
+    const std::vector<net::PacketSink*>& rev_path, ConnectionConfig cfg = {});
+
+}  // namespace mpsim::mptcp

@@ -1,0 +1,37 @@
+#include "mptcp/scheduler.hpp"
+
+#include <algorithm>
+
+namespace mpsim::mptcp {
+
+bool DataScheduler::next_data(std::uint64_t& data_seq) {
+  // Drain reinjections first: these unblock the receiver's head-of-line.
+  while (!reinject_q_.empty()) {
+    const std::uint64_t seq = reinject_q_.front();
+    reinject_q_.pop_front();
+    reinject_pending_.erase(seq);
+    if (seq < data_cum_ack_) continue;  // acked meanwhile; obsolete
+    data_seq = seq;
+    return true;
+  }
+  if (app_limited() && next_new_ >= app_limit_) return false;
+  if (next_new_ >= right_edge_) return false;  // receiver-buffer limited
+  data_seq = next_new_++;
+  return true;
+}
+
+void DataScheduler::on_data_ack(std::uint64_t data_cum_ack,
+                                std::uint64_t rcv_window) {
+  data_cum_ack_ = std::max(data_cum_ack_, data_cum_ack);
+  right_edge_ = std::max(right_edge_, data_cum_ack + rcv_window);
+}
+
+void DataScheduler::reinject(const std::vector<std::uint64_t>& data_seqs) {
+  for (std::uint64_t seq : data_seqs) {
+    if (seq < data_cum_ack_) continue;
+    if (!reinject_pending_.insert(seq).second) continue;  // already queued
+    reinject_q_.push_back(seq);
+  }
+}
+
+}  // namespace mpsim::mptcp

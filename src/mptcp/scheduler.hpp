@@ -1,0 +1,63 @@
+// Connection-level data scheduling (§2 box: "An MPTCP sender stripes
+// packets across these subflows as space in the subflow windows becomes
+// available").
+//
+// The scheduler owns the data sequence space: it hands out new data
+// sequence numbers on demand (so whichever subflow has window space first
+// gets the next packet — window-based striping), tracks the data-level
+// cumulative ACK and the receiver-advertised window, and queues
+// reinjections: data stranded on a timed-out subflow that should be
+// retransmitted on a sibling (§6 / the mobile scenario of §5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+namespace mpsim::mptcp {
+
+class DataScheduler {
+ public:
+  // `app_limit_pkts == 0` means an unlimited (long-lived) stream.
+  // `initial_window` seeds the flow-control right edge (the receiver's
+  // buffer size, learned exactly from the first data ACK onward).
+  DataScheduler(std::uint64_t app_limit_pkts, std::uint64_t initial_window)
+      : app_limit_(app_limit_pkts),
+        right_edge_(initial_window) {}
+
+  // Next data sequence number to transmit: queued reinjections first, then
+  // fresh data, subject to the data-level flow-control window and the
+  // application limit. Returns false if nothing may be sent.
+  bool next_data(std::uint64_t& data_seq);
+
+  // Process a data-level cumulative ACK + receive window. The right edge
+  // (ack + window) only ever moves forward: ACKs may be reordered across
+  // subflows with different RTTs (§6), and TCP never shrinks the window.
+  void on_data_ack(std::uint64_t data_cum_ack, std::uint64_t rcv_window);
+
+  // Queue data sequence numbers for retransmission on another subflow.
+  // Already-acked and already-queued sequences are skipped.
+  void reinject(const std::vector<std::uint64_t>& data_seqs);
+
+  std::uint64_t data_cum_ack() const { return data_cum_ack_; }
+  std::uint64_t next_new() const { return next_new_; }
+  std::uint64_t right_edge() const { return right_edge_; }
+  std::uint64_t reinject_backlog() const { return reinject_q_.size(); }
+
+  bool app_limited() const { return app_limit_ != 0; }
+  // All application data sent and acknowledged.
+  bool complete() const {
+    return app_limited() && data_cum_ack_ >= app_limit_;
+  }
+
+ private:
+  std::uint64_t app_limit_;
+  std::uint64_t right_edge_;
+  std::uint64_t next_new_ = 0;
+  std::uint64_t data_cum_ack_ = 0;
+  std::deque<std::uint64_t> reinject_q_;
+  std::unordered_set<std::uint64_t> reinject_pending_;
+};
+
+}  // namespace mpsim::mptcp

@@ -1,0 +1,47 @@
+#include "net/cbr.hpp"
+
+#include <utility>
+
+namespace mpsim::net {
+
+OnOffCbrSource::OnOffCbrSource(EventList& events, std::string name,
+                               const Route& route, double rate_bps,
+                               SimTime mean_on, SimTime mean_off,
+                               std::uint64_t seed)
+    : EventSource(std::move(name)),
+      events_(events),
+      route_(route),
+      rate_bps_(rate_bps),
+      mean_on_(mean_on),
+      mean_off_(mean_off),
+      rng_(seed) {}
+
+void OnOffCbrSource::start(SimTime at) { events_.schedule_at(*this, at); }
+
+void OnOffCbrSource::on_event() {
+  const SimTime now = events_.now();
+  if (!on_) {
+    // Entering an on-phase; pick its duration (or forever if not bursty).
+    on_ = true;
+    phase_ends_ = (mean_on_ == 0 && mean_off_ == 0)
+                      ? kNever
+                      : now + static_cast<SimTime>(rng_.exponential(
+                                  static_cast<double>(mean_on_)));
+  }
+  if (now >= phase_ends_) {
+    // On-phase over; sleep for the off-period.
+    on_ = false;
+    const SimTime off =
+        static_cast<SimTime>(rng_.exponential(static_cast<double>(mean_off_)));
+    events_.schedule_at(*this, now + off);
+    return;
+  }
+  Packet& pkt = Packet::alloc();
+  pkt.type = PacketType::kCbr;
+  pkt.size_bytes = kDataPacketBytes;
+  ++packets_sent_;
+  events_.schedule_at(*this, now + inter_packet_gap());
+  pkt.send_on(route_);
+}
+
+}  // namespace mpsim::net

@@ -1,0 +1,68 @@
+// Constant-bit-rate traffic with optional exponential on/off bursting.
+//
+// §3's dynamic load-balancing experiment (Fig. 9) uses a CBR flow that sends
+// at full link rate for an exponential on-period (mean 10 ms) and is silent
+// for an exponential off-period (mean 100 ms). CBR packets are fire-and-
+// forget: no ACKs, no retransmission; drops simply vanish.
+#pragma once
+
+#include <string>
+
+#include "core/event_list.hpp"
+#include "core/rng.hpp"
+#include "net/packet.hpp"
+
+namespace mpsim::net {
+
+// Terminal sink that counts and releases arriving packets.
+class CountingSink : public PacketSink {
+ public:
+  explicit CountingSink(std::string name) : name_(std::move(name)) {}
+
+  void receive(Packet& pkt) override {
+    ++packets_;
+    bytes_ += pkt.size_bytes;
+    pkt.release();
+  }
+  const std::string& sink_name() const override { return name_; }
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+  void reset() { packets_ = 0; bytes_ = 0; }
+
+ private:
+  std::string name_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+class OnOffCbrSource : public EventSource {
+ public:
+  // Sends `rate_bps` of kDataPacketBytes packets while "on". If
+  // `mean_on`/`mean_off` are zero the source is always on.
+  OnOffCbrSource(EventList& events, std::string name, const Route& route,
+                 double rate_bps, SimTime mean_on, SimTime mean_off,
+                 std::uint64_t seed);
+
+  void start(SimTime at);
+  void on_event() override;
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  SimTime inter_packet_gap() const {
+    return static_cast<SimTime>(kDataPacketBytes * 8.0 / rate_bps_ * 1e9);
+  }
+
+  EventList& events_;
+  const Route& route_;
+  double rate_bps_;
+  SimTime mean_on_;
+  SimTime mean_off_;
+  Rng rng_;
+  bool on_ = false;
+  SimTime phase_ends_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace mpsim::net

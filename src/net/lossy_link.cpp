@@ -1,0 +1,4 @@
+#include "net/lossy_link.hpp"
+
+// Header-only; this translation unit exists so the target has a home for the
+// class should out-of-line definitions become necessary.

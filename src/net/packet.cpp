@@ -1,0 +1,91 @@
+#include "net/packet.hpp"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace mpsim::net {
+
+namespace {
+
+// Global free-list pool. Single-threaded simulator, so no locking. Packets
+// are recycled rather than freed; peak usage is bounded by total in-flight
+// packets across all queues and pipes.
+class PacketPool {
+ public:
+  Packet& alloc() {
+    if (free_.empty()) {
+      storage_.push_back(std::unique_ptr<Packet>(new Packet()));
+      ++outstanding_;
+      return *storage_.back();
+    }
+    Packet* p = free_.back();
+    free_.pop_back();
+    ++outstanding_;
+    return *p;
+  }
+
+  void release(Packet* p) {
+    assert(outstanding_ > 0);
+    --outstanding_;
+    free_.push_back(p);
+  }
+
+  std::size_t outstanding() const { return outstanding_; }
+
+  static PacketPool& instance() {
+    static PacketPool pool;
+    return pool;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Packet>> storage_;
+  std::vector<Packet*> free_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace
+
+void Packet::reset() {
+  type = PacketType::kData;
+  flow_id = 0;
+  subflow_id = 0;
+  subflow_seq = 0;
+  data_seq = 0;
+  subflow_cum_ack = 0;
+  data_cum_ack = 0;
+  rcv_window = 0;
+  is_window_update = false;
+  size_bytes = kDataPacketBytes;
+  ts_echo = 0;
+  is_retransmit = false;
+  route_ = nullptr;
+  next_hop_ = 0;
+}
+
+Packet& Packet::alloc() {
+  Packet& p = PacketPool::instance().alloc();
+  p.reset();
+  return p;
+}
+
+void Packet::release() { PacketPool::instance().release(this); }
+
+std::size_t Packet::pool_outstanding() {
+  return PacketPool::instance().outstanding();
+}
+
+void Packet::send_on(const Route& route) {
+  assert(route.size() > 0);
+  route_ = &route;
+  next_hop_ = 1;
+  route.at(0)->receive(*this);
+}
+
+void Packet::advance() {
+  assert(route_ != nullptr && next_hop_ < route_->size());
+  PacketSink* sink = route_->at(next_hop_++);
+  sink->receive(*this);
+}
+
+}  // namespace mpsim::net

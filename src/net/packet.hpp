@@ -1,0 +1,110 @@
+// Packets, routes and the sink interface.
+//
+// A Packet travels along a Route: an ordered list of PacketSinks (queues,
+// pipes, loss elements) terminated by an endpoint (a TCP receiver, a TCP
+// sender receiving an ACK, or a CBR sink). Packets are pool-allocated —
+// simulations push tens of millions of packets, so per-packet heap churn
+// would dominate the profile.
+//
+// Sequence numbers are counted in packets (one MSS of payload each), matching
+// the paper, which states all windows in packets. Byte sizes are carried
+// separately for queue occupancy and serialization-time computation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace mpsim::net {
+
+class Packet;
+
+// Anything a packet can be delivered to.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  // Takes logical ownership of `pkt`: the sink must eventually forward it
+  // (pkt.advance()) or release it back to the pool (pkt.release()).
+  virtual void receive(Packet& pkt) = 0;
+  virtual const std::string& sink_name() const = 0;
+};
+
+// An ordered list of sinks. The final element is the destination endpoint.
+// Routes are immutable once built and shared by all packets of a subflow.
+class Route {
+ public:
+  Route() = default;
+  explicit Route(std::vector<PacketSink*> hops) : hops_(std::move(hops)) {}
+
+  void push_back(PacketSink* s) { hops_.push_back(s); }
+  std::size_t size() const { return hops_.size(); }
+  PacketSink* at(std::size_t i) const { return hops_[i]; }
+
+  // The route ACKs travel back on (and vice versa).
+  const Route* reverse() const { return reverse_; }
+  void set_reverse(const Route* r) { reverse_ = r; }
+
+ private:
+  std::vector<PacketSink*> hops_;
+  const Route* reverse_ = nullptr;
+};
+
+enum class PacketType : std::uint8_t {
+  kData,  // TCP data segment (one MSS)
+  kAck,   // TCP acknowledgment (subflow cum-ack + data-level cum-ack)
+  kCbr,   // constant-bit-rate background traffic, unacknowledged
+};
+
+inline constexpr std::uint32_t kDataPacketBytes = 1500;
+inline constexpr std::uint32_t kAckPacketBytes = 40;
+
+class Packet {
+ public:
+  // --- identity ---
+  PacketType type = PacketType::kData;
+  std::uint32_t flow_id = 0;     // connection id
+  std::uint32_t subflow_id = 0;  // index of subflow within the connection
+
+  // --- sequence numbers (in packets) ---
+  std::uint64_t subflow_seq = 0;  // per-subflow sequence (loss detection)
+  std::uint64_t data_seq = 0;     // connection-level data sequence (reassembly)
+
+  // --- ACK fields (valid when type == kAck) ---
+  std::uint64_t subflow_cum_ack = 0;  // next subflow seq expected
+  std::uint64_t data_cum_ack = 0;     // next data seq expected
+  std::uint64_t rcv_window = 0;       // packets beyond data_cum_ack allowed
+  // Gratuitous window update (receive buffer reopened after advertising
+  // zero). Not a duplicate ACK for loss-detection purposes (RFC 5681
+  // excludes window-changing segments from the dupack definition).
+  bool is_window_update = false;
+
+  // --- bookkeeping ---
+  std::uint32_t size_bytes = kDataPacketBytes;
+  SimTime ts_echo = 0;        // sender timestamp, echoed by the ACK
+  bool is_retransmit = false; // suppresses RTT sampling (Karn's rule)
+
+  // Route traversal -----------------------------------------------------
+  // Starts the packet down `route` (delivers to the first hop).
+  void send_on(const Route& route);
+  // Delivers the packet to the next hop on its route.
+  void advance();
+  const Route* route() const { return route_; }
+
+  // Pool management ------------------------------------------------------
+  static Packet& alloc();    // fetch a zeroed packet from the pool
+  void release();            // return this packet to the pool
+  static std::size_t pool_outstanding();  // live packets (leak detector)
+
+  // Construct via alloc(); direct construction is reserved for the pool.
+  Packet() = default;
+
+ private:
+  void reset();
+
+  const Route* route_ = nullptr;
+  std::uint32_t next_hop_ = 0;
+};
+
+}  // namespace mpsim::net

@@ -1,0 +1,28 @@
+#include "net/pipe.hpp"
+
+#include <cassert>
+
+namespace mpsim::net {
+
+Pipe::Pipe(EventList& events, std::string name, SimTime delay)
+    : EventSource(std::move(name)), events_(events), delay_(delay) {
+  assert(delay_ >= 0);
+}
+
+void Pipe::receive(Packet& pkt) {
+  const SimTime deliver_at = events_.now() + delay_;
+  in_flight_.emplace_back(deliver_at, &pkt);
+  events_.schedule_at(*this, deliver_at);
+}
+
+void Pipe::on_event() {
+  // One wake-up was scheduled per packet, so exactly the due head is
+  // delivered here; arrivals are FIFO because delay is constant.
+  assert(!in_flight_.empty());
+  auto [due, pkt] = in_flight_.front();
+  assert(due == events_.now());
+  in_flight_.pop_front();
+  pkt->advance();
+}
+
+}  // namespace mpsim::net

@@ -1,0 +1,30 @@
+// Propagation-delay element: delivers every packet `delay` after arrival,
+// preserving order. Pipes never drop.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "core/event_list.hpp"
+#include "net/packet.hpp"
+
+namespace mpsim::net {
+
+class Pipe : public PacketSink, public EventSource {
+ public:
+  Pipe(EventList& events, std::string name, SimTime delay);
+
+  void receive(Packet& pkt) override;
+  void on_event() override;
+  const std::string& sink_name() const override { return EventSource::name(); }
+
+  SimTime delay() const { return delay_; }
+
+ private:
+  EventList& events_;
+  SimTime delay_;
+  std::deque<std::pair<SimTime, Packet*>> in_flight_;  // (deliver_at, pkt)
+};
+
+}  // namespace mpsim::net

@@ -1,0 +1,59 @@
+#include "net/queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mpsim::net {
+
+Queue::Queue(EventList& events, std::string name, double rate_bps,
+             std::uint64_t max_bytes)
+    : EventSource(std::move(name)),
+      events_(events),
+      rate_bps_(rate_bps),
+      max_bytes_(max_bytes) {
+  assert(rate_bps_ > 0);
+}
+
+void Queue::receive(Packet& pkt) {
+  ++arrivals_;
+  if (queued_bytes_ + pkt.size_bytes > max_bytes_) {
+    ++drops_;
+    pkt.release();
+    return;
+  }
+  queued_bytes_ += pkt.size_bytes;
+  fifo_.push_back(&pkt);
+  if (!busy_) start_service();
+}
+
+void Queue::start_service() {
+  assert(!busy_ && !fifo_.empty());
+  busy_ = true;
+  in_service_ = fifo_.front();
+  fifo_.pop_front();
+  service_done_at_ = events_.now() + service_time(*in_service_);
+  events_.schedule_at(*this, service_done_at_);
+}
+
+void Queue::on_event() {
+  // Lazy-cancellation guard: VariableRateQueue reschedules completions when
+  // the rate changes, which can leave stale wake-ups in the heap.
+  if (!busy_ || events_.now() < service_done_at_) return;
+  Packet* pkt = in_service_;
+  in_service_ = nullptr;
+  busy_ = false;
+  queued_bytes_ -= pkt->size_bytes;
+  ++departures_;
+  bytes_forwarded_ += pkt->size_bytes;
+  if (!fifo_.empty()) start_service();
+  pkt->advance();
+}
+
+void Queue::reset_stats() {
+  arrivals_ = 0;
+  drops_ = 0;
+  departures_ = 0;
+  bytes_forwarded_ = 0;
+}
+
+}  // namespace mpsim::net

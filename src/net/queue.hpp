@@ -1,0 +1,67 @@
+// Drop-tail FIFO queue with a finite byte buffer and a fixed service rate.
+//
+// The queue models the serialization of packets onto a link: one packet is
+// "in service" at a time and departs after size*8/rate seconds, at which
+// point it advances to the next hop (normally a Pipe carrying the link's
+// propagation delay). Arrivals that would overflow the buffer are dropped at
+// the tail and counted, giving each link's loss rate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "core/event_list.hpp"
+#include "net/packet.hpp"
+
+namespace mpsim::net {
+
+class Queue : public PacketSink, public EventSource {
+ public:
+  // `rate_bps` link speed; `max_bytes` buffer capacity (queued + in service).
+  Queue(EventList& events, std::string name, double rate_bps,
+        std::uint64_t max_bytes);
+
+  void receive(Packet& pkt) override;
+  void on_event() override;
+  const std::string& sink_name() const override { return EventSource::name(); }
+
+  // --- statistics ---
+  std::uint64_t arrivals() const { return arrivals_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t departures() const { return departures_; }
+  std::uint64_t bytes_forwarded() const { return bytes_forwarded_; }
+  double loss_rate() const {
+    return arrivals_ == 0 ? 0.0
+                          : static_cast<double>(drops_) / arrivals_;
+  }
+  void reset_stats();
+
+  std::uint64_t queued_bytes() const { return queued_bytes_; }
+  std::size_t queued_packets() const { return fifo_.size() + (busy_ ? 1 : 0); }
+  double rate_bps() const { return rate_bps_; }
+  std::uint64_t capacity_bytes() const { return max_bytes_; }
+
+ protected:
+  SimTime service_time(const Packet& pkt) const {
+    return static_cast<SimTime>(static_cast<double>(pkt.size_bytes) * 8.0 /
+                                rate_bps_ * 1e9);
+  }
+  void start_service();
+
+  EventList& events_;
+  std::deque<Packet*> fifo_;  // waiting packets; head-of-line is in service
+  double rate_bps_;
+  std::uint64_t max_bytes_;
+  std::uint64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  Packet* in_service_ = nullptr;
+  SimTime service_done_at_ = 0;
+
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t departures_ = 0;
+  std::uint64_t bytes_forwarded_ = 0;
+};
+
+}  // namespace mpsim::net

@@ -1,0 +1,99 @@
+#include "net/variable_rate_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mpsim::net {
+
+VariableRateQueue::VariableRateQueue(EventList& events, std::string name,
+                                     double rate_bps, std::uint64_t max_bytes)
+    : Queue(events, std::move(name), rate_bps, max_bytes) {}
+
+void VariableRateQueue::receive(Packet& pkt) {
+  ++arrivals_;
+  if (queued_bytes_ + pkt.size_bytes > max_bytes_) {
+    ++drops_;
+    pkt.release();
+    return;
+  }
+  queued_bytes_ += pkt.size_bytes;
+  fifo_.push_back(&pkt);
+  if (!busy_ && rate_bps_ > 0.0) {
+    start_service();
+    fraction_done_ = 0.0;
+    fraction_as_of_ = events_.now();
+  }
+}
+
+void VariableRateQueue::set_rate(double rate_bps) {
+  assert(rate_bps >= 0.0);
+  const SimTime now = events_.now();
+  if (busy_) {
+    // Bank progress made at the old rate before switching.
+    if (rate_bps_ > 0.0) {
+      const double total =
+          static_cast<double>(in_service_->size_bytes) * 8.0 / rate_bps_ * 1e9;
+      fraction_done_ += static_cast<double>(now - fraction_as_of_) / total;
+      if (fraction_done_ > 1.0) fraction_done_ = 1.0;
+    }
+    fraction_as_of_ = now;
+  }
+  rate_bps_ = rate_bps;
+  if (busy_) {
+    reschedule_head();
+  } else if (rate_bps_ > 0.0 && !fifo_.empty()) {
+    start_service();
+    fraction_done_ = 0.0;
+    fraction_as_of_ = now;
+  }
+}
+
+void VariableRateQueue::reschedule_head() {
+  assert(busy_);
+  if (rate_bps_ == 0.0) {
+    service_done_at_ = kNever;  // frozen; stale wake-ups self-discard
+    return;
+  }
+  const double total =
+      static_cast<double>(in_service_->size_bytes) * 8.0 / rate_bps_ * 1e9;
+  const double remaining = (1.0 - fraction_done_) * total;
+  service_done_at_ = events_.now() + static_cast<SimTime>(remaining);
+  events_.schedule_at(*this, service_done_at_);
+}
+
+void VariableRateQueue::on_event() {
+  if (!busy_ || events_.now() < service_done_at_) return;
+  Packet* pkt = in_service_;
+  in_service_ = nullptr;
+  busy_ = false;
+  queued_bytes_ -= pkt->size_bytes;
+  ++departures_;
+  bytes_forwarded_ += pkt->size_bytes;
+  if (!fifo_.empty() && rate_bps_ > 0.0) {
+    start_service();
+    fraction_done_ = 0.0;
+    fraction_as_of_ = events_.now();
+  }
+  pkt->advance();
+}
+
+RateSchedule::RateSchedule(EventList& events, VariableRateQueue& target,
+                           std::vector<Change> changes)
+    : EventSource("rate-schedule[" + target.sink_name() + "]"),
+      events_(events),
+      target_(target),
+      changes_(std::move(changes)) {
+  if (!changes_.empty()) events_.schedule_at(*this, changes_.front().at);
+}
+
+void RateSchedule::on_event() {
+  while (next_ < changes_.size() && changes_[next_].at <= events_.now()) {
+    target_.set_rate(changes_[next_].rate_bps);
+    ++next_;
+  }
+  if (next_ < changes_.size()) {
+    events_.schedule_at(*this, changes_[next_].at);
+  }
+}
+
+}  // namespace mpsim::net

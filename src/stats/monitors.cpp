@@ -1,0 +1,52 @@
+#include "stats/monitors.hpp"
+
+namespace mpsim::stats {
+
+PeriodicSampler::PeriodicSampler(EventList& events, std::string name,
+                                 SimTime interval,
+                                 std::function<void(SimTime)> fn)
+    : EventSource(std::move(name)),
+      events_(events),
+      interval_(interval),
+      fn_(std::move(fn)) {}
+
+void PeriodicSampler::start(SimTime at) {
+  running_ = true;
+  events_.schedule_at(*this, at);
+}
+
+void PeriodicSampler::on_event() {
+  if (!running_) return;
+  fn_(events_.now());
+  events_.schedule_in(*this, interval_);
+}
+
+CounterSeries::CounterSeries(EventList& events, std::string name,
+                             SimTime interval,
+                             std::function<std::uint64_t()> counter)
+    : interval_(interval),
+      counter_(std::move(counter)),
+      sampler_(events, std::move(name), interval, [this](SimTime t) {
+        const std::uint64_t v = counter_();
+        if (primed_) points_.push_back({t, v - last_});
+        primed_ = true;
+        last_ = v;
+      }) {}
+
+void CounterSeries::start(SimTime at) { sampler_.start(at); }
+
+double CounterSeries::mean_rate() const {
+  if (points_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& p : points_) total += p.delta;
+  return static_cast<double>(total) /
+         to_sec(interval_ * static_cast<SimTime>(points_.size()));
+}
+
+double pkts_to_mbps(std::uint64_t pkts, SimTime elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(pkts) * net::kDataPacketBytes * 8.0 /
+         to_sec(elapsed) / 1e6;
+}
+
+}  // namespace mpsim::stats

@@ -1,0 +1,71 @@
+// Measurement instruments: periodic samplers that turn monotone counters
+// (packets delivered, queue drops, ...) into time series and interval rates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/event_list.hpp"
+#include "net/packet.hpp"
+
+namespace mpsim::stats {
+
+// Invokes a callback every `interval` of simulated time.
+class PeriodicSampler : public EventSource {
+ public:
+  PeriodicSampler(EventList& events, std::string name, SimTime interval,
+                  std::function<void(SimTime)> fn);
+
+  void start(SimTime at);
+  void stop() { running_ = false; }
+  void on_event() override;
+
+ private:
+  EventList& events_;
+  SimTime interval_;
+  std::function<void(SimTime)> fn_;
+  bool running_ = false;
+};
+
+// Samples a monotone counter periodically; records per-interval deltas.
+// Rates can be asked for in any unit via the scale factor.
+class CounterSeries {
+ public:
+  // `counter` returns a monotone value (e.g. packets delivered so far).
+  CounterSeries(EventList& events, std::string name, SimTime interval,
+                std::function<std::uint64_t()> counter);
+
+  void start(SimTime at);
+  void stop() { sampler_.stop(); }
+
+  struct Point {
+    SimTime t;            // end of interval
+    std::uint64_t delta;  // counter increase over the interval
+  };
+  const std::vector<Point>& points() const { return points_; }
+  SimTime interval() const { return interval_; }
+
+  // Mean rate over the recorded points, in counts/second.
+  double mean_rate() const;
+
+  // Convenience for data-packet counters: Mb/s assuming kDataPacketBytes.
+  double mean_mbps() const {
+    return mean_rate() * net::kDataPacketBytes * 8.0 / 1e6;
+  }
+
+ private:
+  SimTime interval_;
+  std::function<std::uint64_t()> counter_;
+  std::uint64_t last_ = 0;
+  bool primed_ = false;
+  std::vector<Point> points_;
+  PeriodicSampler sampler_;
+};
+
+// Mb/s represented by `pkts` data packets over `elapsed`.
+double pkts_to_mbps(std::uint64_t pkts, SimTime elapsed);
+
+}  // namespace mpsim::stats

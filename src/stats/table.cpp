@@ -1,0 +1,63 @@
+#include "stats/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace mpsim::stats {
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label,
+                    const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt_double(v, precision));
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      out << cell << std::string(widths[c] - cell.size(), ' ');
+      out << (c + 1 < widths.size() ? "  " : "");
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace mpsim::stats

@@ -1,0 +1,27 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mpsim::tcp {
+
+void RttEstimator::add_sample(SimTime rtt) {
+  if (rtt < 0) return;
+  min_seen_ = std::min(min_seen_, rtt);
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+    return;
+  }
+  const SimTime err = std::abs(srtt_ - rtt);
+  rttvar_ = (3 * rttvar_ + err) / 4;
+  srtt_ = (7 * srtt_ + rtt) / 8;
+}
+
+SimTime RttEstimator::rto() const {
+  if (!has_sample_) return std::max<SimTime>(from_sec(1), min_rto_);
+  return std::clamp(srtt_ + 4 * rttvar_, min_rto_, max_rto_);
+}
+
+}  // namespace mpsim::tcp

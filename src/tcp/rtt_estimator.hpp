@@ -1,0 +1,44 @@
+// Smoothed round-trip-time estimation, computed as in TCP (RFC 6298 /
+// Jacobson-Karels): SRTT <- 7/8 SRTT + 1/8 sample, RTTVAR <- 3/4 RTTVAR +
+// 1/4 |SRTT - sample|, RTO = SRTT + 4 RTTVAR clamped to a floor.
+//
+// The paper's MPTCP increase formula (eq. (1)) consumes this smoothed
+// estimate ("We use a smoothed RTT estimator, computed similarly to TCP").
+#pragma once
+
+#include "core/time.hpp"
+
+namespace mpsim::tcp {
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(SimTime min_rto = from_ms(200),
+                        SimTime max_rto = from_sec(60))
+      : min_rto_(min_rto), max_rto_(max_rto) {}
+
+  void add_sample(SimTime rtt);
+
+  bool has_sample() const { return has_sample_; }
+
+  // Smoothed RTT; before the first sample returns `fallback`.
+  SimTime srtt(SimTime fallback = from_ms(100)) const {
+    return has_sample_ ? srtt_ : fallback;
+  }
+  SimTime rttvar() const { return rttvar_; }
+  SimTime min_seen() const { return min_seen_; }
+
+  // Retransmission timeout with the floor/ceiling applied. Before any
+  // sample, a conservative 1 s initial RTO (RFC 6298 §2.1, scaled down to
+  // simulation workloads where connections start warm).
+  SimTime rto() const;
+
+ private:
+  SimTime min_rto_;
+  SimTime max_rto_;
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  SimTime min_seen_ = kNever;
+  bool has_sample_ = false;
+};
+
+}  // namespace mpsim::tcp

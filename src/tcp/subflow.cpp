@@ -1,0 +1,251 @@
+#include "tcp/subflow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+namespace mpsim::tcp {
+
+Subflow::Subflow(EventList& events, std::string name, SubflowHost& host,
+                 std::uint32_t flow_id, std::uint32_t subflow_id,
+                 const SubflowConfig& cfg)
+    : EventSource(std::move(name)),
+      events_(events),
+      host_(host),
+      flow_id_(flow_id),
+      subflow_id_(subflow_id),
+      cfg_(cfg),
+      cwnd_(cfg.init_cwnd),
+      ssthresh_(cfg.init_ssthresh),
+      rtt_(cfg.min_rto, cfg.max_rto) {}
+
+void Subflow::set_cwnd(double w) {
+  cwnd_ = w;
+  clamp_cwnd();
+}
+
+void Subflow::clamp_cwnd() {
+  cwnd_ = std::clamp(cwnd_, cfg_.min_cwnd, cfg_.max_cwnd);
+}
+
+void Subflow::try_send() {
+  if (route_ == nullptr) return;
+  // Limited Transmit allowance: up to two extra segments while dupacks
+  // signal departures but fast retransmit has not yet triggered.
+  const std::uint64_t lt_bonus =
+      (cfg_.limited_transmit && !in_recovery_ && dupacks_ > 0 &&
+       dupacks_ < cfg_.dupack_threshold)
+          ? std::min<std::uint64_t>(dupacks_, 2)
+          : 0;
+  const auto window = static_cast<std::uint64_t>(cwnd_) + lt_bonus;
+  while (snd_nxt_ - snd_una_ < window) {
+    if (snd_nxt_ < high_water_) {
+      // Go-back-N resend of a segment assigned before an RTO rewind.
+      send_packet(snd_nxt_, /*is_retransmit=*/true);
+      ++snd_nxt_;
+    } else {
+      std::uint64_t dseq = 0;
+      if (!host_.next_data(subflow_id_, dseq)) break;
+      scoreboard_.push_back(dseq);
+      ++high_water_;
+      send_packet(snd_nxt_, /*is_retransmit=*/false);
+      ++snd_nxt_;
+    }
+  }
+  if (snd_una_ < high_water_ && !rto_armed_) arm_rto();
+}
+
+void Subflow::send_packet(std::uint64_t subflow_seq, bool is_retransmit) {
+  assert(subflow_seq >= scoreboard_base_ &&
+         subflow_seq - scoreboard_base_ < scoreboard_.size());
+  net::Packet& pkt = net::Packet::alloc();
+  pkt.type = net::PacketType::kData;
+  pkt.flow_id = flow_id_;
+  pkt.subflow_id = subflow_id_;
+  pkt.subflow_seq = subflow_seq;
+  pkt.data_seq = scoreboard_[subflow_seq - scoreboard_base_];
+  pkt.size_bytes = net::kDataPacketBytes;
+  pkt.ts_echo = events_.now();
+  pkt.is_retransmit = is_retransmit;
+  ++packets_sent_;
+  if (is_retransmit) ++retransmits_;
+  pkt.send_on(*route_);
+}
+
+void Subflow::receive(net::Packet& pkt) {
+  assert(pkt.type == net::PacketType::kAck);
+  handle_ack(pkt);
+  pkt.release();
+}
+
+void Subflow::handle_ack(net::Packet& ack) {
+  // Karn's rule: only time unambiguous (non-retransmitted) segments.
+  if (!ack.is_retransmit) {
+    rtt_.add_sample(events_.now() - ack.ts_echo);
+  }
+  host_.on_data_ack(ack.data_cum_ack, ack.rcv_window);
+
+  const std::uint64_t cum = ack.subflow_cum_ack;
+  if (cum > snd_una_) {
+    const std::uint64_t newly = cum - snd_una_;
+    snd_una_ = cum;
+    snd_nxt_ = std::max(snd_nxt_, snd_una_);
+    while (scoreboard_base_ < snd_una_) {
+      scoreboard_.pop_front();
+      ++scoreboard_base_;
+    }
+    dupacks_ = 0;
+    backoff_ = 0;
+
+    if (in_recovery_) {
+      if (snd_una_ >= recover_) {
+        // Full ACK: recovery complete, deflate to ssthresh.
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+        clamp_cwnd();
+        arm_rto();
+      } else {
+        // NewReno partial ACK: retransmit the next hole, deflate by the
+        // amount acked (keeping the one retransmission in flight).
+        // RFC 6582 "Slow-but-Steady": every partial ACK restarts the
+        // retransmission timer, so a many-hole recovery proceeds at one
+        // hole per RTT without RTO interruption. (The connection-level
+        // head-of-line reinjection keeps the *data stream* from stalling
+        // behind such a recovery on one subflow.)
+        cwnd_ = std::max(ssthresh_, cwnd_ - static_cast<double>(newly) + 1.0);
+        clamp_cwnd();
+        if (snd_una_ < high_water_) send_packet(snd_una_, true);
+        arm_rto();
+      }
+    } else {
+      for (std::uint64_t i = 0; i < newly; ++i) {
+        if (cwnd_ < ssthresh_) {
+          cwnd_ += 1.0;  // slow start
+        } else if (!cfg_.quantized_increase) {
+          cwnd_ += host_.ca_increase(subflow_id_);
+        } else {
+          // Re-evaluate the (possibly expensive) coupled increase only
+          // when the window has grown a whole packet since last computed.
+          const double quantum = std::floor(cwnd_);
+          if (quantum != increase_quantum_) {
+            cached_increase_ = host_.ca_increase(subflow_id_);
+            increase_quantum_ = quantum;
+          }
+          cwnd_ += cached_increase_;
+        }
+      }
+      clamp_cwnd();
+      arm_rto();  // forward progress restarts the retransmission timer
+    }
+  } else if (snd_una_ < high_water_ && !ack.is_window_update) {
+    // Duplicate ACK while data is outstanding (window updates are not
+    // dupacks, RFC 5681).
+    ++dupacks_;
+    if (!in_recovery_ && dupacks_ == cfg_.dupack_threshold &&
+        snd_una_ > recover_) {
+      // RFC 6582: react to three dupacks only when the cumulative ACK has
+      // passed `recover_` — dupack bursts from packets sent before the
+      // previous loss reaction must not trigger another one.
+      ++loss_events_;
+      enter_recovery();
+    } else if (in_recovery_) {
+      cwnd_ += 1.0;  // window inflation: each dupack signals a departure
+      clamp_cwnd();
+    }
+  }
+
+  if (snd_una_ >= high_water_) {
+    cancel_rto();
+  } else if (!rto_armed_) {
+    arm_rto();
+  }
+  // (Duplicate ACKs and later partial ACKs deliberately do NOT restart an
+  // armed timer — otherwise a long dupack stream keeps the RTO at bay
+  // forever and a stalled recovery can never escape.)
+  try_send();
+  host_.on_subflow_progress(subflow_id_);
+}
+
+void Subflow::enter_recovery() {
+  const bool in_slow_start = cwnd_ < ssthresh_;
+  ssthresh_ =
+      std::max(cfg_.min_cwnd, host_.window_after_loss(subflow_id_));
+  recover_ = snd_nxt_;  // dupacks below this must not re-trigger (RFC 6582)
+  if (in_slow_start) {
+    // Loss during slow start means the exponential overshoot dumped a
+    // large burst: potentially hundreds of holes, which NewReno (no SACK)
+    // would repair at one per RTT. Do a Tahoe-style go-back-N instead —
+    // refilling via slow start to the halved ssthresh is far faster.
+    cwnd_ = cfg_.min_cwnd;
+    snd_nxt_ = snd_una_;
+    in_recovery_ = false;
+    dupacks_ = 0;
+    arm_rto();
+    try_send();
+    return;
+  }
+  cwnd_ = ssthresh_ + static_cast<double>(cfg_.dupack_threshold);
+  clamp_cwnd();
+  in_recovery_ = true;
+  recover_ = snd_nxt_;
+  if (snd_una_ < high_water_) send_packet(snd_una_, true);
+}
+
+void Subflow::arm_rto() {
+  const int shift = std::min(backoff_, 16);
+  const SimTime rto = std::min<SimTime>(cfg_.max_rto, rtt_.rto() << shift);
+  rto_deadline_ = events_.now() + rto;
+  rto_armed_ = true;
+  if (next_fire_ == kNever || next_fire_ > rto_deadline_) {
+    next_fire_ = rto_deadline_;
+    events_.schedule_at(*this, rto_deadline_);
+  }
+  // Otherwise an earlier wake-up is already pending; it will re-arm itself
+  // forward to rto_deadline_ when it fires (lazy rescheduling keeps the
+  // event heap from accumulating one stale entry per ACK).
+}
+
+void Subflow::on_event() {
+  next_fire_ = kNever;
+  if (!rto_armed_) return;
+  if (events_.now() < rto_deadline_) {
+    // The deadline moved later since this wake-up was scheduled.
+    next_fire_ = rto_deadline_;
+    events_.schedule_at(*this, rto_deadline_);
+    return;
+  }
+  rto_armed_ = false;
+  if (snd_una_ >= high_water_) return;  // nothing outstanding after all
+
+  // Retransmission timeout. If it strikes mid-recovery, ssthresh was
+  // already set from the pre-loss window at recovery entry; recomputing it
+  // from the inflated cwnd would wildly overshoot.
+  ++timeouts_;
+  ++loss_events_;
+  if (!in_recovery_) {
+    ssthresh_ =
+        std::max(cfg_.min_cwnd, host_.window_after_loss(subflow_id_));
+  }
+  cwnd_ = cfg_.min_cwnd;
+  in_recovery_ = false;
+  dupacks_ = 0;
+  recover_ = high_water_;  // RFC 6582: no fast retransmit for pre-RTO acks
+  snd_nxt_ = snd_una_;     // go-back-N: resend everything outstanding
+  ++backoff_;
+  host_.on_subflow_rto(subflow_id_, outstanding_data());
+  try_send();
+  if (snd_una_ < high_water_ && !rto_armed_) arm_rto();
+}
+
+std::vector<std::uint64_t> Subflow::outstanding_data() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(high_water_ - snd_una_);
+  for (std::uint64_t seq = snd_una_; seq < high_water_; ++seq) {
+    out.push_back(scoreboard_[seq - scoreboard_base_]);
+  }
+  return out;
+}
+
+}  // namespace mpsim::tcp

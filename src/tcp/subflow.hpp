@@ -1,0 +1,180 @@
+// One TCP subflow: the full windowed NewReno sender machinery, with the
+// additive-increase and multiplicative-decrease *amounts* delegated to the
+// owning connection (which consults a pluggable congestion-control algorithm
+// that may couple the subflows, per §2 of the paper).
+//
+// Implemented behaviour:
+//   * slow start (cwnd += 1 per acked packet below ssthresh),
+//   * congestion avoidance (cwnd += host-supplied increase per acked packet),
+//   * duplicate-ACK counting, fast retransmit at 3 dupacks,
+//   * NewReno fast recovery with window inflation and partial-ACK hole
+//     retransmission,
+//   * retransmission timeout with exponential backoff and go-back-N resend,
+//   * Karn's rule (no RTT samples from retransmitted segments),
+//   * a scoreboard mapping subflow sequence numbers to connection-level data
+//     sequence numbers (§6: the two sequence spaces are separate).
+//
+// Windows are kept in packets as doubles (the paper states all windows in
+// packets); transmission is quantised to whole packets.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/event_list.hpp"
+#include "net/packet.hpp"
+#include "tcp/rtt_estimator.hpp"
+
+namespace mpsim::tcp {
+
+struct SubflowConfig {
+  double init_cwnd = 2.0;       // packets
+  double init_ssthresh = 1e9;   // effectively infinite
+  double min_cwnd = 1.0;        // paper: windows bounded >= 1 pkt (probing)
+  double max_cwnd = 1e9;
+  std::uint32_t dupack_threshold = 3;
+  SimTime min_rto = from_ms(200);
+  SimTime max_rto = from_sec(60);
+  // RFC 3042 Limited Transmit: send one new segment per dupack before the
+  // fast-retransmit threshold, keeping the ACK clock alive at small
+  // windows (where three dupacks may never materialise).
+  bool limited_transmit = false;
+  // The paper's kernel optimisation: "we compute the increase parameter
+  // only when the congestion windows grow to accommodate one more packet,
+  // rather than every ACK". Off = evaluate eq. (1) per ACK.
+  bool quantized_increase = false;
+};
+
+// Connection-level services a subflow needs. Implemented by
+// mptcp::MptcpConnection; the tcp layer has no knowledge of multipath.
+class SubflowHost {
+ public:
+  virtual ~SubflowHost() = default;
+
+  // Hand out the next data sequence number to transmit on this subflow, or
+  // return false if none is available (application-limited, flow-controlled,
+  // or complete).
+  virtual bool next_data(std::uint32_t subflow_id, std::uint64_t& data_seq) = 0;
+
+  // Additive increase (in packets) to apply per newly acked packet during
+  // congestion avoidance on this subflow.
+  virtual double ca_increase(std::uint32_t subflow_id) = 0;
+
+  // New congestion window after a loss event on this subflow.
+  virtual double window_after_loss(std::uint32_t subflow_id) = 0;
+
+  // A (possibly updated) data-level cumulative ACK / receive window arrived.
+  virtual void on_data_ack(std::uint64_t data_cum_ack,
+                           std::uint64_t rcv_window) = 0;
+
+  // The subflow suffered a retransmission timeout; `outstanding` lists the
+  // data sequence numbers still unacknowledged on it (candidates for
+  // reinjection on sibling subflows).
+  virtual void on_subflow_rto(std::uint32_t subflow_id,
+                              const std::vector<std::uint64_t>& outstanding) = 0;
+
+  // Progress happened on this subflow (ACK processed); the connection may
+  // want to pump data into sibling subflows whose constraints changed.
+  virtual void on_subflow_progress(std::uint32_t subflow_id) = 0;
+};
+
+class Subflow : public net::PacketSink, public EventSource {
+ public:
+  Subflow(EventList& events, std::string name, SubflowHost& host,
+          std::uint32_t flow_id, std::uint32_t subflow_id,
+          const SubflowConfig& cfg);
+
+  // The forward route this subflow's data packets travel (must end at the
+  // connection's receiver). ACKs arrive back at this object.
+  void set_route(const net::Route& fwd) { route_ = &fwd; }
+
+  // Transmit as much as the congestion window / available data allow.
+  void try_send();
+
+  // PacketSink: ACKs from the receiver.
+  void receive(net::Packet& pkt) override;
+  const std::string& sink_name() const override { return EventSource::name(); }
+
+  // EventSource: retransmission timer.
+  void on_event() override;
+
+  // --- inspection ---
+  double cwnd() const { return cwnd_; }
+  // The congestion window as seen by coupled congestion control. During
+  // NewReno fast recovery cwnd_ is *inflated* by one packet per dupack (the
+  // self-clocking transmit rule) and can transiently dwarf the real
+  // window; the semantically meaningful value there is ssthresh, the
+  // post-loss target the window deflates to on the full ACK.
+  double effective_cwnd() const {
+    return in_recovery_ ? std::min(cwnd_, ssthresh_) : cwnd_;
+  }
+  void set_cwnd(double w);  // for tests and warm starts
+  double ssthresh() const { return ssthresh_; }
+  bool in_recovery() const { return in_recovery_; }
+  std::uint64_t inflight() const { return snd_nxt_ - snd_una_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  std::uint32_t id() const { return subflow_id_; }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_acked() const { return snd_una_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t loss_events() const { return loss_events_; }
+
+  // Data sequence numbers assigned to this subflow and not yet cum-acked.
+  std::vector<std::uint64_t> outstanding_data() const;
+
+ private:
+  void handle_ack(net::Packet& ack);
+  void send_packet(std::uint64_t subflow_seq, bool is_retransmit);
+  void enter_recovery();
+  void arm_rto();
+  void cancel_rto() { rto_armed_ = false; }
+  void clamp_cwnd();
+
+  EventList& events_;
+  SubflowHost& host_;
+  const net::Route* route_ = nullptr;
+  std::uint32_t flow_id_;
+  std::uint32_t subflow_id_;
+  SubflowConfig cfg_;
+
+  // Window state (packets).
+  double cwnd_;
+  double ssthresh_;
+
+  // Sequence state. All in packets. The scoreboard holds the data_seq for
+  // every subflow seq in [scoreboard_base_, high_water_).
+  std::uint64_t snd_una_ = 0;    // first unacked subflow seq
+  std::uint64_t snd_nxt_ = 0;    // next subflow seq to send
+  std::uint64_t high_water_ = 0; // highest subflow seq ever assigned + 1
+  std::uint64_t scoreboard_base_ = 0;
+  std::deque<std::uint64_t> scoreboard_;  // subflow seq -> data seq
+
+  // NewReno recovery state.
+  std::uint32_t dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;  // recovery ends when snd_una_ >= recover_
+
+  // Quantized-increase cache (cfg_.quantized_increase).
+  double cached_increase_ = 0.0;
+  double increase_quantum_ = -1.0;
+
+  // RTO state.
+  RttEstimator rtt_;
+  bool rto_armed_ = false;
+  SimTime rto_deadline_ = 0;
+  SimTime next_fire_ = kNever;  // earliest pending scheduler wake-up
+  int backoff_ = 0;
+
+  // Stats.
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t loss_events_ = 0;
+};
+
+}  // namespace mpsim::tcp

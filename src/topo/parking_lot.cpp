@@ -1,0 +1,33 @@
+#include "topo/parking_lot.hpp"
+
+#include <string>
+
+namespace mpsim::topo {
+
+ParkingLot::ParkingLot(Network& net, double link_rate_bps, SimTime path_rtt,
+                       std::uint64_t buf_bytes) {
+  const SimTime hop = path_rtt / 20;  // small per-link propagation
+  for (int i = 0; i < 3; ++i) {
+    links_[i] = net.add_link("pl" + std::to_string(i), link_rate_bps, hop,
+                             buf_bytes);
+    // Pad ACK pipes so one-hop and two-hop paths see the same base RTT.
+    ack_short_[i] =
+        &net.add_pipe("pl" + std::to_string(i) + "/ack1", path_rtt - hop);
+    ack_long_[i] =
+        &net.add_pipe("pl" + std::to_string(i) + "/ack2", path_rtt - 2 * hop);
+  }
+}
+
+Path ParkingLot::one_hop_fwd(int flow) const {
+  return path_of({&links_[flow]});
+}
+
+Path ParkingLot::two_hop_fwd(int flow) const {
+  return path_of({&links_[(flow + 1) % 3], &links_[(flow + 2) % 3]});
+}
+
+Path ParkingLot::one_hop_rev(int flow) const { return {ack_short_[flow]}; }
+
+Path ParkingLot::two_hop_rev(int flow) const { return {ack_long_[flow]}; }
+
+}  // namespace mpsim::topo

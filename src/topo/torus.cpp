@@ -1,0 +1,25 @@
+#include "topo/torus.hpp"
+
+#include <string>
+
+namespace mpsim::topo {
+
+Torus::Torus(Network& net, const std::array<double, kLinks>& rates_pps) {
+  const SimTime one_way = kRtt / 2;
+  for (int i = 0; i < kLinks; ++i) {
+    const double bps = pkts_per_sec_to_bps(rates_pps[i]);
+    const std::string name = "torus" + std::string(1, char('A' + i));
+    links_[i] = net.add_link(name, bps, one_way, bdp_bytes(bps, kRtt, 1.0));
+    ack_[i] = &net.add_pipe(name + "/ack", one_way);
+  }
+}
+
+Path Torus::fwd(int flow, int path) const {
+  return path_of({&links_[link_of(flow, path)]});
+}
+
+Path Torus::rev(int flow, int path) const {
+  return {ack_[link_of(flow, path)]};
+}
+
+}  // namespace mpsim::topo

@@ -1,0 +1,25 @@
+#include "topo/triangle.hpp"
+
+#include <string>
+
+namespace mpsim::topo {
+
+Triangle::Triangle(Network& net, const std::array<double, 3>& rates_bps,
+                   SimTime one_way_delay,
+                   const std::array<std::uint64_t, 3>& bufs) {
+  for (int i = 0; i < 3; ++i) {
+    links_[i] = net.add_link("tri" + std::to_string(i), rates_bps[i],
+                             one_way_delay, bufs[i]);
+    ack_[i] = &net.add_pipe("tri" + std::to_string(i) + "/ack", one_way_delay);
+  }
+}
+
+Path Triangle::fwd(int flow, int path) const {
+  return path_of({&links_[link_of(flow, path)]});
+}
+
+Path Triangle::rev(int flow, int path) const {
+  return {ack_[link_of(flow, path)]};
+}
+
+}  // namespace mpsim::topo

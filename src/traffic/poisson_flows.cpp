@@ -1,0 +1,62 @@
+#include "traffic/poisson_flows.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace mpsim::traffic {
+
+PoissonFlowGenerator::PoissonFlowGenerator(EventList& events,
+                                           std::string name,
+                                           const PoissonConfig& cfg,
+                                           Factory factory)
+    : EventSource(std::move(name)),
+      events_(events),
+      cfg_(cfg),
+      factory_(std::move(factory)),
+      rng_(cfg.seed) {}
+
+void PoissonFlowGenerator::start(SimTime at) {
+  started_at_ = at;
+  events_.schedule_at(*this, at);
+}
+
+std::uint64_t PoissonFlowGenerator::draw_size_pkts() {
+  // Pareto(alpha, xm) has mean alpha*xm/(alpha-1); solve xm for the
+  // configured mean.
+  const double alpha = cfg_.pareto_shape;
+  const double xm = cfg_.mean_flow_bytes * (alpha - 1.0) / alpha;
+  const double bytes = rng_.pareto(alpha, xm);
+  const auto pkts = static_cast<std::uint64_t>(
+      std::ceil(bytes / net::kDataPacketBytes));
+  return std::max<std::uint64_t>(1, pkts);
+}
+
+void PoissonFlowGenerator::on_event() {
+  const SimTime now = events_.now();
+
+  // Launch one flow.
+  const std::uint64_t size = draw_size_pkts();
+  auto conn = factory_(
+      EventSource::name() + "/f" + std::to_string(flows_started_), size);
+  ++flows_started_;
+  mptcp::MptcpConnection* raw = conn.get();
+  const SimTime born = now;
+  raw->on_complete = [this, raw, born] {
+    ++flows_completed_;
+    fct_.push_back(events_.now() - born);
+    (void)raw;
+  };
+  flows_.push_back(std::move(conn));
+
+  // Schedule the next arrival from the current phase's rate.
+  const auto phase = static_cast<std::uint64_t>(
+      (now - started_at_) / cfg_.phase_duration);
+  const double rate = (phase % 2 == 0) ? cfg_.light_rate_per_sec
+                                       : cfg_.heavy_rate_per_sec;
+  const SimTime gap = static_cast<SimTime>(
+      rng_.exponential(1.0 / rate) * 1e9);
+  events_.schedule_at(*this, now + std::max<SimTime>(1, gap));
+}
+
+}  // namespace mpsim::traffic

@@ -1,0 +1,66 @@
+// Dynamic workload for §3's second server experiment: Poisson flow
+// arrivals with Pareto-distributed sizes (mean 200 kB in the paper), and an
+// arrival rate that alternates between a light and a heavy phase.
+//
+// Each arrival creates a finite single-path TCP via a caller-supplied
+// factory (so the generator is topology-agnostic); completed flows are
+// retained until simulation end — packets in flight may still reference
+// their sinks — and flow completion times are recorded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event_list.hpp"
+#include "core/rng.hpp"
+#include "mptcp/connection.hpp"
+
+namespace mpsim::traffic {
+
+struct PoissonConfig {
+  double light_rate_per_sec = 10.0;
+  double heavy_rate_per_sec = 60.0;
+  SimTime phase_duration = from_sec(10);  // alternate light/heavy
+  double pareto_shape = 2.0;              // alpha > 1 (finite mean)
+  double mean_flow_bytes = 200e3;         // paper: 200 kB
+  std::uint64_t seed = 1;
+};
+
+class PoissonFlowGenerator : public EventSource {
+ public:
+  // `factory(name, size_pkts)` builds a started connection carrying
+  // `size_pkts` packets of application data.
+  using Factory = std::function<std::unique_ptr<mptcp::MptcpConnection>(
+      const std::string&, std::uint64_t)>;
+
+  PoissonFlowGenerator(EventList& events, std::string name,
+                       const PoissonConfig& cfg, Factory factory);
+
+  void start(SimTime at);
+  void on_event() override;
+
+  std::uint64_t flows_started() const { return flows_started_; }
+  std::uint64_t flows_completed() const { return flows_completed_; }
+  const std::vector<SimTime>& completion_times() const { return fct_; }
+  std::uint64_t active_flows() const {
+    return flows_started_ - flows_completed_;
+  }
+
+ private:
+  std::uint64_t draw_size_pkts();
+
+  EventList& events_;
+  PoissonConfig cfg_;
+  Factory factory_;
+  Rng rng_;
+  SimTime started_at_ = 0;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  std::vector<SimTime> fct_;
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> flows_;
+};
+
+}  // namespace mpsim::traffic

@@ -1,0 +1,63 @@
+#include "traffic/traffic_matrix.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+namespace mpsim::traffic {
+
+std::vector<FlowPair> permutation_tm(int hosts, Rng& rng) {
+  assert(hosts >= 2);
+  std::vector<int> dst(static_cast<std::size_t>(hosts));
+  std::iota(dst.begin(), dst.end(), 0);
+  // Shuffle until a derangement (expected ~e tries).
+  for (;;) {
+    rng.shuffle(dst.data(), dst.size());
+    bool ok = true;
+    for (int h = 0; h < hosts; ++h) {
+      if (dst[static_cast<std::size_t>(h)] == h) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) break;
+  }
+  std::vector<FlowPair> tm;
+  tm.reserve(static_cast<std::size_t>(hosts));
+  for (int h = 0; h < hosts; ++h) {
+    tm.push_back({h, dst[static_cast<std::size_t>(h)]});
+  }
+  return tm;
+}
+
+std::vector<FlowPair> one_to_many_tm(int hosts, int flows_per_host,
+                                     Rng& rng) {
+  assert(flows_per_host < hosts);
+  std::vector<FlowPair> tm;
+  tm.reserve(static_cast<std::size_t>(hosts) * flows_per_host);
+  for (int h = 0; h < hosts; ++h) {
+    std::unordered_set<int> used;
+    while (static_cast<int>(used.size()) < flows_per_host) {
+      const int d =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(hosts)));
+      if (d == h || !used.insert(d).second) continue;
+      tm.push_back({h, d});
+    }
+  }
+  return tm;
+}
+
+std::vector<FlowPair> sparse_tm(int hosts, double fraction, Rng& rng) {
+  std::vector<FlowPair> tm;
+  for (int h = 0; h < hosts; ++h) {
+    if (!rng.chance(fraction)) continue;
+    int d = h;
+    while (d == h) {
+      d = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(hosts)));
+    }
+    tm.push_back({h, d});
+  }
+  return tm;
+}
+
+}  // namespace mpsim::traffic

@@ -1,0 +1,33 @@
+// The §4 data-center traffic patterns, as (src, dst) pair lists:
+//
+//   TP1 — random permutation: every host sends to exactly one other host
+//         and receives from exactly one (a derangement). The minimal
+//         pattern that can fully load a FatTree.
+//   TP2 — one-to-many: every host opens 12 flows, modelling replicated
+//         distributed-filesystem writes. In FatTree destinations are
+//         random; in BCube they are the host's neighbours at each level.
+//   TP3 — sparse: 30% of hosts open one flow to a random destination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace mpsim::traffic {
+
+struct FlowPair {
+  int src;
+  int dst;
+};
+
+// TP1: a random derangement of [0, hosts).
+std::vector<FlowPair> permutation_tm(int hosts, Rng& rng);
+
+// TP2 (random destinations): `flows_per_host` distinct random dsts != src.
+std::vector<FlowPair> one_to_many_tm(int hosts, int flows_per_host, Rng& rng);
+
+// TP3: each host participates with probability `fraction`; one random dst.
+std::vector<FlowPair> sparse_tm(int hosts, double fraction, Rng& rng);
+
+}  // namespace mpsim::traffic

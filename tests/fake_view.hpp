@@ -1,0 +1,23 @@
+// Test double for cc::ConnectionView: a plain vector of (window, rtt).
+#pragma once
+
+#include <vector>
+
+#include "cc/congestion_control.hpp"
+
+namespace mpsim::cc {
+
+class FakeView : public ConnectionView {
+ public:
+  FakeView(std::vector<double> windows, std::vector<double> rtts)
+      : windows_(std::move(windows)), rtts_(std::move(rtts)) {}
+
+  std::size_t num_subflows() const override { return windows_.size(); }
+  double cwnd_pkts(std::size_t r) const override { return windows_[r]; }
+  double srtt_sec(std::size_t r) const override { return rtts_[r]; }
+
+  std::vector<double> windows_;
+  std::vector<double> rtts_;
+};
+
+}  // namespace mpsim::cc

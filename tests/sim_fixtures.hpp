@@ -1,0 +1,37 @@
+// Shared simulation fixtures for integration tests: a single bottleneck
+// link and helpers for spinning up connections on it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/uncoupled.hpp"
+#include "core/event_list.hpp"
+#include "mptcp/connection.hpp"
+#include "topo/network.hpp"
+
+namespace mpsim::test {
+
+// One bottleneck link (queue+pipe forward, pipe back).
+struct SingleLink {
+  SingleLink(topo::Network& net, double rate_bps, SimTime one_way,
+             std::uint64_t buf_bytes, const std::string& name = "lnk") {
+    link = net.add_link(name, rate_bps, one_way, buf_bytes);
+    ack = &net.add_pipe(name + "/ack", one_way);
+  }
+
+  topo::Path fwd() const { return topo::path_of({&link}); }
+  topo::Path rev() const { return {ack}; }
+  net::Queue& queue() { return *link.queue; }
+
+  topo::Link link;
+  net::Pipe* ack;
+};
+
+inline std::unique_ptr<mptcp::MptcpConnection> single_tcp(
+    EventList& events, const std::string& name, const SingleLink& l,
+    mptcp::ConnectionConfig cfg = {}) {
+  return mptcp::make_single_path_tcp(events, name, l.fwd(), l.rev(), cfg);
+}
+
+}  // namespace mpsim::test

@@ -1,0 +1,67 @@
+#include "net/cbr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/event_list.hpp"
+#include "net/packet.hpp"
+
+namespace mpsim::net {
+namespace {
+
+TEST(OnOffCbr, AlwaysOnSendsAtConfiguredRate) {
+  EventList events;
+  CountingSink sink("sink");
+  Route route({&sink});
+  // 12 Mb/s -> 1000 pkt/s of 1500 B.
+  OnOffCbrSource cbr(events, "cbr", route, 12e6, 0, 0, 1);
+  cbr.start(0);
+  events.run_until(from_sec(1));
+  EXPECT_NEAR(static_cast<double>(sink.packets()), 1000.0, 2.0);
+}
+
+TEST(OnOffCbr, StartTimeHonoured) {
+  EventList events;
+  CountingSink sink("sink");
+  Route route({&sink});
+  OnOffCbrSource cbr(events, "cbr", route, 12e6, 0, 0, 1);
+  cbr.start(from_ms(500));
+  events.run_until(from_sec(1));
+  EXPECT_NEAR(static_cast<double>(sink.packets()), 500.0, 2.0);
+}
+
+TEST(OnOffCbr, DutyCycleShapesThroughput) {
+  EventList events;
+  CountingSink sink("sink");
+  Route route({&sink});
+  // mean on 10 ms / mean off 100 ms -> ~9% duty cycle (paper's Fig. 9 CBR).
+  OnOffCbrSource cbr(events, "cbr", route, 100e6, from_ms(10), from_ms(100),
+                     1234);
+  cbr.start(0);
+  events.run_until(from_sec(50));
+  const double full = 100e6 / (kDataPacketBytes * 8.0) * 50.0;
+  const double duty =
+      static_cast<double>(sink.packets()) / full;
+  EXPECT_GT(duty, 0.04);
+  EXPECT_LT(duty, 0.16);
+}
+
+TEST(OnOffCbr, PacketsAreCbrType) {
+  EventList events;
+  struct TypeSink : PacketSink {
+    void receive(Packet& pkt) override {
+      all_cbr = all_cbr && pkt.type == PacketType::kCbr;
+      pkt.release();
+    }
+    const std::string& sink_name() const override { return name; }
+    std::string name = "type";
+    bool all_cbr = true;
+  } sink;
+  Route route({&sink});
+  OnOffCbrSource cbr(events, "cbr", route, 12e6, 0, 0, 1);
+  cbr.start(0);
+  events.run_until(from_ms(10));
+  EXPECT_TRUE(sink.all_cbr);
+}
+
+}  // namespace
+}  // namespace mpsim::net

@@ -1,0 +1,222 @@
+// Unit tests for the five §2 algorithm boxes as pure window-update rules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc/coupled.hpp"
+#include "cc/ewtcp.hpp"
+#include "cc/mptcp_lia.hpp"
+#include "cc/rfc6356.hpp"
+#include "cc/semicoupled.hpp"
+#include "cc/uncoupled.hpp"
+#include "fake_view.hpp"
+
+namespace mpsim::cc {
+namespace {
+
+// ---------- UNCOUPLED (regular TCP per subflow) ----------
+
+TEST(Uncoupled, IncreaseIsOneOverOwnWindow) {
+  FakeView v({10.0, 40.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(uncoupled().increase_per_ack(v, 0), 0.1);
+  EXPECT_DOUBLE_EQ(uncoupled().increase_per_ack(v, 1), 0.025);
+}
+
+TEST(Uncoupled, LossHalvesOwnWindow) {
+  FakeView v({10.0, 40.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(uncoupled().window_after_loss(v, 0), 5.0);
+  EXPECT_DOUBLE_EQ(uncoupled().window_after_loss(v, 1), 20.0);
+}
+
+TEST(Uncoupled, IndependentOfOtherSubflows) {
+  FakeView small({10.0}, {0.1});
+  FakeView big({10.0, 1000.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(uncoupled().increase_per_ack(small, 0),
+                   uncoupled().increase_per_ack(big, 0));
+}
+
+// ---------- EWTCP ----------
+
+TEST(Ewtcp, AutoWeightIsOneOverN) {
+  FakeView v2({10.0, 10.0}, {0.1, 0.1});
+  FakeView v4({10.0, 10.0, 10.0, 10.0}, {0.1, 0.1, 0.1, 0.1});
+  EXPECT_DOUBLE_EQ(ewtcp().weight_for(v2), 0.5);
+  EXPECT_DOUBLE_EQ(ewtcp().weight_for(v4), 0.25);
+}
+
+TEST(Ewtcp, IncreaseScalesWithWeightSquared) {
+  // Equilibrium of (phi^2/w, w/2) AIMD is phi * w_TCP: per-ACK increase
+  // must be phi^2 / w.
+  FakeView v({20.0, 20.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(ewtcp().increase_per_ack(v, 0), 0.25 / 20.0);
+}
+
+TEST(Ewtcp, ExplicitWeightOverridesAuto) {
+  Ewtcp heavy(1.0);
+  FakeView v({20.0, 20.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(heavy.increase_per_ack(v, 0), 1.0 / 20.0);
+}
+
+TEST(Ewtcp, SinglePathWithAutoWeightIsRegularTcp) {
+  FakeView v({20.0}, {0.1});
+  EXPECT_DOUBLE_EQ(ewtcp().increase_per_ack(v, 0),
+                   uncoupled().increase_per_ack(v, 0));
+  EXPECT_DOUBLE_EQ(ewtcp().window_after_loss(v, 0),
+                   uncoupled().window_after_loss(v, 0));
+}
+
+TEST(Ewtcp, LossHalvesOwnWindowOnly) {
+  FakeView v({12.0, 30.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(ewtcp().window_after_loss(v, 1), 15.0);
+}
+
+// ---------- COUPLED ----------
+
+TEST(Coupled, IncreaseUsesTotalWindow) {
+  FakeView v({10.0, 30.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(coupled().increase_per_ack(v, 0), 1.0 / 40.0);
+  EXPECT_DOUBLE_EQ(coupled().increase_per_ack(v, 1), 1.0 / 40.0);
+}
+
+TEST(Coupled, LossSubtractsHalfTotal) {
+  FakeView v({30.0, 10.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(coupled().window_after_loss(v, 0), 10.0);  // 30 - 20
+}
+
+TEST(Coupled, LossFloorsAtZero) {
+  // w_r < w_total/2: the decrease would go negative; clamp at 0 (the
+  // caller's min-cwnd then keeps 1 packet for probing).
+  FakeView v({5.0, 50.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(coupled().window_after_loss(v, 0), 0.0);
+}
+
+TEST(Coupled, SinglePathReducesToRegularTcp) {
+  FakeView v({20.0}, {0.1});
+  EXPECT_DOUBLE_EQ(coupled().increase_per_ack(v, 0), 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(coupled().window_after_loss(v, 0), 10.0);
+}
+
+// ---------- SEMICOUPLED ----------
+
+TEST(SemiCoupled, IncreaseIsAOverTotal) {
+  FakeView v({10.0, 30.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(semicoupled().increase_per_ack(v, 0), 1.0 / 40.0);
+  SemiCoupled agg(2.0);
+  EXPECT_DOUBLE_EQ(agg.increase_per_ack(v, 0), 2.0 / 40.0);
+}
+
+TEST(SemiCoupled, LossHalvesOwnWindow) {
+  FakeView v({10.0, 30.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(semicoupled().window_after_loss(v, 1), 15.0);
+}
+
+TEST(SemiCoupled, SinglePathReducesToRegularTcp) {
+  FakeView v({20.0}, {0.1});
+  EXPECT_DOUBLE_EQ(semicoupled().increase_per_ack(v, 0),
+                   uncoupled().increase_per_ack(v, 0));
+}
+
+// ---------- MPTCP (LIA) ----------
+
+TEST(MptcpLia, SinglePathReducesToRegularTcp) {
+  FakeView v({20.0}, {0.1});
+  EXPECT_DOUBLE_EQ(mptcp_lia().increase_per_ack(v, 0), 1.0 / 20.0);
+  EXPECT_DOUBLE_EQ(mptcp_lia().window_after_loss(v, 0), 10.0);
+}
+
+TEST(MptcpLia, EqualPathsGiveOneOverNSquaredW) {
+  // n equal paths (window w, same RTT): eq. (1)'s minimum is the full set,
+  // (w/RTT^2) / (n w / RTT)^2 = 1/(n^2 w). Total window then equals one
+  // TCP's — the §2.1 fairness goal.
+  const double w = 25.0;
+  for (std::size_t n = 1; n <= 6; ++n) {
+    std::vector<double> ws(n, w), rtts(n, 0.1);
+    FakeView v(ws, rtts);
+    EXPECT_NEAR(mptcp_lia().increase_per_ack(v, 0),
+                1.0 / (static_cast<double>(n * n) * w), 1e-12)
+        << "n=" << n;
+  }
+}
+
+TEST(MptcpLia, NeverExceedsRegularTcpIncrease) {
+  // S = {r} is a candidate subset, so increase <= 1/w_r always: the
+  // do-no-harm cap of §2.5.
+  FakeView v({3.0, 50.0, 8.0}, {0.01, 0.5, 0.1});
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_LE(mptcp_lia().increase_per_ack(v, r),
+              1.0 / v.cwnd_pkts(r) + 1e-15);
+  }
+}
+
+TEST(MptcpLia, LossHalvesOwnWindow) {
+  FakeView v({10.0, 30.0}, {0.1, 0.2});
+  EXPECT_DOUBLE_EQ(mptcp_lia().window_after_loss(v, 0), 5.0);
+}
+
+TEST(MptcpLia, TwoPathHandComputedCase) {
+  // w = (10, 40), rtt = (0.1, 0.1).
+  // Ordering by w/rtt^2: path0 (1000) then path1 (4000).
+  // For r=0: candidates {0}: (10/0.01)/(10/0.1)^2 = 1000/10000 = 0.1;
+  //          {0,1}: (4000)/(500)^2 = 0.016. min = 0.016.
+  // For r=1: only {1} and {0,1} -> min((40/.01)/(400)^2=0.025, 0.016)=0.016.
+  FakeView v({10.0, 40.0}, {0.1, 0.1});
+  EXPECT_NEAR(mptcp_lia().increase_per_ack(v, 0), 0.016, 1e-12);
+  EXPECT_NEAR(mptcp_lia().increase_per_ack(v, 1), 0.016, 1e-12);
+}
+
+TEST(MptcpLia, RttMismatchFavoursNeitherBeyondCap) {
+  // Short-RTT path with big window dominates the denominator.
+  FakeView v({10.0, 10.0}, {0.01, 1.0});
+  const double inc0 = mptcp_lia().increase_per_ack(v, 0);
+  const double inc1 = mptcp_lia().increase_per_ack(v, 1);
+  EXPECT_LE(inc0, 1.0 / 10.0 + 1e-15);
+  EXPECT_LE(inc1, inc0 + 1e-15);  // long-RTT path gets the smaller subset min
+}
+
+// ---------- RFC 6356 variant ----------
+
+TEST(Rfc6356, AlphaMatchesEquation) {
+  FakeView v({10.0, 40.0}, {0.1, 0.2});
+  const double max_term = std::max(10.0 / 0.01, 40.0 / 0.04);
+  const double sum_term = 10.0 / 0.1 + 40.0 / 0.2;
+  const double expected = 50.0 * max_term / (sum_term * sum_term);
+  EXPECT_NEAR(Rfc6356::alpha(v), expected, 1e-12);
+}
+
+TEST(Rfc6356, IncreaseCappedByRegularTcp) {
+  FakeView v({2.0, 80.0}, {0.05, 0.3});
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_LE(rfc6356().increase_per_ack(v, r), 1.0 / v.cwnd_pkts(r) + 1e-15);
+  }
+}
+
+TEST(Rfc6356, EqualPathsMatchLia) {
+  // With symmetric paths the binding subset is the full set, so the two
+  // formulations coincide.
+  FakeView v({25.0, 25.0, 25.0}, {0.1, 0.1, 0.1});
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(rfc6356().increase_per_ack(v, r),
+                mptcp_lia().increase_per_ack(v, r), 1e-12);
+  }
+}
+
+TEST(Rfc6356, SinglePathReducesToRegularTcp) {
+  FakeView v({20.0}, {0.1});
+  EXPECT_DOUBLE_EQ(rfc6356().increase_per_ack(v, 0), 1.0 / 20.0);
+}
+
+// ---------- cross-algorithm sanity ----------
+
+TEST(AllAlgorithms, NamesAreDistinct) {
+  EXPECT_NE(uncoupled().name(), ewtcp().name());
+  EXPECT_NE(coupled().name(), semicoupled().name());
+  EXPECT_NE(mptcp_lia().name(), rfc6356().name());
+}
+
+TEST(AllAlgorithms, TotalWindowHelper) {
+  FakeView v({1.5, 2.5, 6.0}, {0.1, 0.1, 0.1});
+  EXPECT_DOUBLE_EQ(total_window(v), 10.0);
+}
+
+}  // namespace
+}  // namespace mpsim::cc

@@ -1,0 +1,147 @@
+#include "core/event_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mpsim {
+namespace {
+
+// Records the times it was fired at.
+class Recorder : public EventSource {
+ public:
+  explicit Recorder(EventList& events, std::string name = "rec")
+      : EventSource(std::move(name)), events_(events) {}
+  void on_event() override { fired.push_back(events_.now()); }
+  std::vector<SimTime> fired;
+
+ private:
+  EventList& events_;
+};
+
+TEST(EventList, StartsAtTimeZero) {
+  EventList events;
+  EXPECT_EQ(events.now(), 0);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(EventList, RunOneAdvancesClockToEventTime) {
+  EventList events;
+  Recorder r(events);
+  events.schedule_at(r, from_ms(5));
+  EXPECT_TRUE(events.run_one());
+  EXPECT_EQ(events.now(), from_ms(5));
+  ASSERT_EQ(r.fired.size(), 1u);
+  EXPECT_EQ(r.fired[0], from_ms(5));
+}
+
+TEST(EventList, RunOneOnEmptyReturnsFalse) {
+  EventList events;
+  EXPECT_FALSE(events.run_one());
+}
+
+TEST(EventList, EventsFireInTimeOrder) {
+  EventList events;
+  Recorder r(events);
+  events.schedule_at(r, from_ms(30));
+  events.schedule_at(r, from_ms(10));
+  events.schedule_at(r, from_ms(20));
+  events.run_all();
+  ASSERT_EQ(r.fired.size(), 3u);
+  EXPECT_EQ(r.fired[0], from_ms(10));
+  EXPECT_EQ(r.fired[1], from_ms(20));
+  EXPECT_EQ(r.fired[2], from_ms(30));
+}
+
+TEST(EventList, TiesBreakInInsertionOrder) {
+  EventList events;
+  Recorder a(events, "a"), b(events, "b"), c(events, "c");
+  std::vector<const EventSource*> order;
+  // Wrap via three recorders and check FIFO by name after the run.
+  events.schedule_at(b, from_ms(1));
+  events.schedule_at(a, from_ms(1));
+  events.schedule_at(c, from_ms(1));
+  // Recorders record times only, so instead drive one at a time.
+  EXPECT_TRUE(events.run_one());
+  EXPECT_EQ(b.fired.size(), 1u);  // b scheduled first wins the tie
+  EXPECT_TRUE(events.run_one());
+  EXPECT_EQ(a.fired.size(), 1u);
+  EXPECT_TRUE(events.run_one());
+  EXPECT_EQ(c.fired.size(), 1u);
+}
+
+TEST(EventList, ScheduleInIsRelativeToNow) {
+  EventList events;
+  Recorder r(events);
+  events.schedule_at(r, from_ms(10));
+  events.run_one();
+  events.schedule_in(r, from_ms(5));
+  events.run_one();
+  ASSERT_EQ(r.fired.size(), 2u);
+  EXPECT_EQ(r.fired[1], from_ms(15));
+}
+
+TEST(EventList, RunUntilStopsAtBoundaryInclusive) {
+  EventList events;
+  Recorder r(events);
+  events.schedule_at(r, from_ms(10));
+  events.schedule_at(r, from_ms(20));
+  events.schedule_at(r, from_ms(30));
+  events.run_until(from_ms(20));
+  EXPECT_EQ(r.fired.size(), 2u);
+  EXPECT_EQ(events.now(), from_ms(20));
+  EXPECT_EQ(events.pending(), 1u);
+}
+
+TEST(EventList, RunUntilAdvancesClockEvenWhenIdle) {
+  EventList events;
+  events.run_until(from_sec(3));
+  EXPECT_EQ(events.now(), from_sec(3));
+}
+
+TEST(EventList, EventScheduledDuringDispatchRuns) {
+  EventList events;
+  struct Chain : EventSource {
+    Chain(EventList& e) : EventSource("chain"), events(e) {}
+    void on_event() override {
+      ++count;
+      if (count < 5) events.schedule_in(*this, from_ms(1));
+    }
+    EventList& events;
+    int count = 0;
+  } chain(events);
+  events.schedule_at(chain, from_ms(1));
+  events.run_all();
+  EXPECT_EQ(chain.count, 5);
+  EXPECT_EQ(events.now(), from_ms(5));
+}
+
+TEST(EventList, ProcessedCounterCounts) {
+  EventList events;
+  Recorder r(events);
+  for (int i = 1; i <= 7; ++i) events.schedule_at(r, from_ms(i));
+  events.run_all();
+  EXPECT_EQ(events.events_processed(), 7u);
+}
+
+TEST(EventList, SameSourceMultiplePendingEvents) {
+  EventList events;
+  Recorder r(events);
+  events.schedule_at(r, from_ms(1));
+  events.schedule_at(r, from_ms(1));
+  events.schedule_at(r, from_ms(2));
+  events.run_all();
+  EXPECT_EQ(r.fired.size(), 3u);
+}
+
+TEST(TimeConversions, RoundTrip) {
+  EXPECT_EQ(from_ms(100), 100'000'000);
+  EXPECT_EQ(from_us(1.5), 1500);
+  EXPECT_EQ(from_sec(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(to_sec(from_sec(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_us(from_us(9)), 9.0);
+}
+
+}  // namespace
+}  // namespace mpsim

@@ -1,0 +1,163 @@
+// Failure injection: outages at awkward moments, lossy ACK paths, link
+// flapping — the robustness margin beyond the paper's scripted scenarios.
+#include <gtest/gtest.h>
+
+#include "cc/mptcp_lia.hpp"
+#include "mptcp/connection.hpp"
+#include "net/variable_rate_queue.hpp"
+#include "sim_fixtures.hpp"
+#include "topo/network.hpp"
+
+namespace mpsim {
+namespace {
+
+using mptcp::ConnectionConfig;
+using mptcp::MptcpConnection;
+using test::SingleLink;
+
+struct VarLink {
+  VarLink(topo::Network& net, const std::string& name, double rate,
+          SimTime one_way, std::uint64_t buf)
+      : q(net.add_variable_queue(name + "/q", rate, buf)),
+        pipe(net.add_pipe(name + "/p", one_way)),
+        ack(net.add_pipe(name + "/a", one_way)) {}
+  topo::Path fwd() { return {&q, &pipe}; }
+  topo::Path rev() { return {&ack}; }
+  net::VariableRateQueue& q;
+  net::Pipe& pipe;
+  net::Pipe& ack;
+};
+
+TEST(FailureInjection, OutageDuringSlowStart) {
+  // The link dies while the very first window is in flight: the flow must
+  // neither crash nor stall forever.
+  EventList events;
+  topo::Network net(events);
+  VarLink link(net, "v", 10e6, from_ms(10), 100 * net::kDataPacketBytes);
+  auto tcp = mptcp::make_single_path_tcp(events, "t", link.fwd(), link.rev());
+  tcp->start(0);
+  events.run_until(from_ms(25));  // mid slow start
+  link.q.set_rate(0.0);
+  events.run_until(from_sec(5));
+  link.q.set_rate(10e6);
+  events.run_until(from_sec(15));
+  EXPECT_GT(tcp->subflow(0).timeouts(), 0u);
+  EXPECT_GT(tcp->delivered_pkts(), 5000u) << "must recover to full speed";
+  EXPECT_EQ(tcp->receiver().window_violations(), 0u);
+}
+
+TEST(FailureInjection, LossyAckPathStillDeliversEverything) {
+  // 10% of ACKs vanish. Cumulative acking absorbs that: later ACKs cover
+  // earlier ones and the stream completes.
+  EventList events;
+  topo::Network net(events);
+  auto link = net.add_link("l", 10e6, from_ms(10),
+                           topo::bdp_bytes(10e6, from_ms(20)));
+  auto& ack_loss = net.add_lossy("ackloss", 0.10, 4242);
+  auto& ack_pipe = net.add_pipe("ackpipe", from_ms(10));
+  ConnectionConfig cfg;
+  cfg.app_limit_pkts = 5000;
+  auto tcp = mptcp::make_single_path_tcp(
+      events, "t", topo::path_of({&link}), {&ack_loss, &ack_pipe}, cfg);
+  tcp->start(0);
+  events.run_until(from_sec(60));
+  EXPECT_TRUE(tcp->complete());
+  EXPECT_EQ(tcp->receiver().data_cum_ack(), 5000u);
+}
+
+TEST(FailureInjection, BothPathsDieAndRevive) {
+  EventList events;
+  topo::Network net(events);
+  VarLink l1(net, "l1", 10e6, from_ms(10), 50 * net::kDataPacketBytes);
+  VarLink l2(net, "l2", 10e6, from_ms(10), 50 * net::kDataPacketBytes);
+  MptcpConnection mp(events, "mp", cc::mptcp_lia());
+  mp.add_subflow(l1.fwd(), l1.rev());
+  mp.add_subflow(l2.fwd(), l2.rev());
+  mp.start(0);
+  events.run_until(from_sec(3));
+  l1.q.set_rate(0.0);
+  l2.q.set_rate(0.0);
+  events.run_until(from_sec(10));
+  const auto during = mp.delivered_pkts();
+  l1.q.set_rate(10e6);
+  l2.q.set_rate(10e6);
+  events.run_until(from_sec(25));
+  EXPECT_GT(mp.delivered_pkts(), during + 15000u)
+      << "full two-link speed after total blackout";
+  EXPECT_EQ(mp.receiver().window_violations(), 0u);
+}
+
+TEST(FailureInjection, FlappingLink) {
+  // One path flaps every 2 seconds; the connection should ride the stable
+  // path at full speed throughout and opportunistically use the flapper.
+  EventList events;
+  topo::Network net(events);
+  VarLink stable(net, "stable", 10e6, from_ms(10),
+                 50 * net::kDataPacketBytes);
+  VarLink flappy(net, "flappy", 10e6, from_ms(10),
+                 50 * net::kDataPacketBytes);
+  std::vector<net::RateSchedule::Change> changes;
+  for (int i = 1; i <= 20; ++i) {
+    changes.push_back({from_sec(2 * i), (i % 2 == 1) ? 0.0 : 10e6});
+  }
+  net::RateSchedule sched(events, flappy.q, std::move(changes));
+  MptcpConnection mp(events, "mp", cc::mptcp_lia());
+  mp.add_subflow(stable.fwd(), stable.rev());
+  mp.add_subflow(flappy.fwd(), flappy.rev());
+  mp.start(0);
+  events.run_until(from_sec(40));
+  // Stable path alone at ~10 Mb/s for 40 s ~= 33k packets; require at
+  // least 90% of that despite the flapping sibling.
+  EXPECT_GT(mp.delivered_pkts(), 30000u);
+  EXPECT_EQ(mp.receiver().window_violations(), 0u);
+  // The flapper carried some traffic during its up periods.
+  EXPECT_GT(mp.subflow(1).packets_acked(), 1000u);
+}
+
+TEST(FailureInjection, DeadFromBirthSubflowDoesNotPoisonConnection) {
+  // One path never works at all (rate 0 from the start).
+  EventList events;
+  topo::Network net(events);
+  SingleLink good(net, 10e6, from_ms(10), 50 * net::kDataPacketBytes,
+                  "good");
+  VarLink dead(net, "dead", 10e6, from_ms(10), 50 * net::kDataPacketBytes);
+  dead.q.set_rate(0.0);
+  MptcpConnection mp(events, "mp", cc::mptcp_lia());
+  mp.add_subflow(good.fwd(), good.rev());
+  mp.add_subflow(dead.fwd(), dead.rev());
+  mp.start(0);
+  events.run_until(from_sec(20));
+  EXPECT_GT(mp.delivered_pkts(), 14000u)
+      << "the good path must run at ~ full speed";
+  EXPECT_GT(mp.subflow(1).timeouts(), 0u);
+}
+
+TEST(FailureInjection, PacketPoolBalancedAfterChaos) {
+  const std::size_t base = net::Packet::pool_outstanding();
+  {
+    EventList events;
+    topo::Network net(events);
+    VarLink l1(net, "l1", 10e6, from_ms(10), 20 * net::kDataPacketBytes);
+    auto& lossy = net.add_lossy("loss", 0.05, 5);
+    auto& pipe = net.add_pipe("p2", from_ms(30));
+    auto& ack2 = net.add_pipe("a2", from_ms(30));
+    ConnectionConfig cfg;
+    cfg.app_limit_pkts = 3000;
+    MptcpConnection mp(events, "mp", cc::mptcp_lia(), cfg);
+    mp.add_subflow(l1.fwd(), l1.rev());
+    mp.add_subflow({&lossy, &pipe}, {&ack2});
+    mp.start(0);
+    events.run_until(from_sec(2));
+    l1.q.set_rate(0.0);
+    events.run_until(from_sec(4));
+    l1.q.set_rate(10e6);
+    events.run_until(from_sec(60));
+    EXPECT_TRUE(mp.complete());
+    events.run_all();  // drain every in-flight packet and timer
+  }
+  EXPECT_EQ(net::Packet::pool_outstanding(), base)
+      << "every allocated packet must return to the pool";
+}
+
+}  // namespace
+}  // namespace mpsim

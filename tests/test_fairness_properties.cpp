@@ -1,0 +1,127 @@
+// Randomised property suite for the §2.5 fairness goals: for arbitrary
+// loss/RTT environments, the numeric MPTCP equilibrium must satisfy both
+// the incentive constraint (3) and the do-no-harm constraints (4) — this is
+// the appendix theorem, exercised over hundreds of environments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "model/equilibrium.hpp"
+#include "model/fairness.hpp"
+
+namespace mpsim::model {
+namespace {
+
+struct Env {
+  std::vector<double> loss;
+  std::vector<double> rtt;
+  std::string label;
+};
+
+class FairnessProperty : public ::testing::TestWithParam<Env> {};
+
+TEST_P(FairnessProperty, EquilibriumSatisfiesBothGoals) {
+  const Env& env = GetParam();
+  auto eq = mptcp_equilibrium(env.loss, env.rtt);
+  ASSERT_TRUE(eq.converged) << env.label;
+  // 5% tolerance: the fluid equalities are exact only as p -> 0.
+  auto rep = check_fairness(eq.windows, env.loss, env.rtt, 0.05);
+  EXPECT_TRUE(rep.incentive_ok)
+      << env.label << " slack=" << rep.incentive_slack;
+  EXPECT_TRUE(rep.do_no_harm_ok)
+      << env.label << " slack=" << rep.worst_harm_slack;
+}
+
+TEST_P(FairnessProperty, WindowsNonNegativeAndFinite) {
+  const Env& env = GetParam();
+  auto eq = mptcp_equilibrium(env.loss, env.rtt);
+  for (double w : eq.windows) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, 1e6);
+  }
+}
+
+TEST_P(FairnessProperty, AppendixOrderingClaim) {
+  // The appendix's closing step: for all r, wTCP_r/RTT_r <= wTCP_n/RTT_n
+  // where n is the last path in the sqrt(w)/RTT ordering — i.e. at
+  // equilibrium the best hypothetical single-path rate belongs to the
+  // path the ordering ranks last. Verified on the numeric equilibrium.
+  const Env& env = GetParam();
+  auto eq = mptcp_equilibrium(env.loss, env.rtt);
+  ASSERT_TRUE(eq.converged) << env.label;
+  std::size_t last = 0;
+  double best_key = -1.0;
+  for (std::size_t r = 0; r < env.loss.size(); ++r) {
+    const double key =
+        std::sqrt(eq.windows[r] + 1e-12) / env.rtt[r];
+    if (key > best_key) {
+      best_key = key;
+      last = r;
+    }
+  }
+  const double last_tcp_rate =
+      std::sqrt(2.0 / env.loss[last]) / env.rtt[last];
+  for (std::size_t r = 0; r < env.loss.size(); ++r) {
+    const double tcp_rate = std::sqrt(2.0 / env.loss[r]) / env.rtt[r];
+    EXPECT_LE(tcp_rate, last_tcp_rate * 1.02)
+        << env.label << " r=" << r;
+  }
+}
+
+TEST_P(FairnessProperty, IncentiveEqualityHoldsOnTheBestPath) {
+  // Constraint (3) holds with equality at the fluid equilibrium (the
+  // appendix proves sum_r w_r/RTT_r == wTCP_n/RTT_n): the flow gets
+  // exactly, not merely at least, the best single path's rate.
+  const Env& env = GetParam();
+  auto eq = mptcp_equilibrium(env.loss, env.rtt);
+  ASSERT_TRUE(eq.converged) << env.label;
+  double best_tcp = 0.0;
+  for (std::size_t r = 0; r < env.loss.size(); ++r) {
+    best_tcp = std::max(best_tcp,
+                        std::sqrt(2.0 / env.loss[r]) / env.rtt[r]);
+  }
+  EXPECT_NEAR(total_rate(eq.windows, env.rtt), best_tcp, 0.06 * best_tcp)
+      << env.label;
+}
+
+TEST_P(FairnessProperty, NoPathBeatsItsOwnTcpWindow) {
+  // Eq. (6): each path's window is at most what a single-path TCP at that
+  // path's loss rate would get.
+  const Env& env = GetParam();
+  auto eq = mptcp_equilibrium(env.loss, env.rtt);
+  for (std::size_t r = 0; r < env.loss.size(); ++r) {
+    const double wtcp = std::sqrt(2.0 / env.loss[r]);
+    EXPECT_LE(eq.windows[r], wtcp * 1.02) << env.label << " r=" << r;
+  }
+}
+
+std::vector<Env> make_envs() {
+  std::vector<Env> envs;
+  // The paper's own scenario first.
+  envs.push_back({{0.04, 0.01}, {0.010, 0.100}, "wifi3g"});
+  Rng rng(20260706);
+  for (int n = 2; n <= 6; ++n) {
+    for (int i = 0; i < 12; ++i) {
+      Env e;
+      for (int r = 0; r < n; ++r) {
+        // Loss in [0.1%, 5%], RTT in [5 ms, 800 ms].
+        e.loss.push_back(0.001 + rng.next_double() * 0.049);
+        e.rtt.push_back(0.005 + rng.next_double() * 0.795);
+      }
+      e.label = "n" + std::to_string(n) + "_i" + std::to_string(i);
+      envs.push_back(std::move(e));
+    }
+  }
+  return envs;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomEnvironments, FairnessProperty,
+                         ::testing::ValuesIn(make_envs()),
+                         [](const ::testing::TestParamInfo<Env>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace mpsim::model

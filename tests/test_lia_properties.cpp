@@ -1,0 +1,123 @@
+// Property tests for eq. (1): the appendix's linear-search evaluation must
+// agree exactly with brute-force subset enumeration, and the increase obeys
+// the structural invariants the fairness proof relies on. Randomised over
+// many window/RTT configurations via parameterised tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cc/mptcp_lia.hpp"
+#include "core/rng.hpp"
+
+namespace mpsim::cc {
+namespace {
+
+struct Config {
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class LiaProperty : public ::testing::TestWithParam<Config> {
+ protected:
+  void SetUp() override {
+    const Config c = GetParam();
+    Rng rng(c.seed);
+    windows.resize(c.n);
+    rtts.resize(c.n);
+    for (std::size_t r = 0; r < c.n; ++r) {
+      windows[r] = 1.0 + rng.next_double() * 99.0;          // [1, 100) pkts
+      rtts[r] = 0.001 + rng.next_double() * 0.999;          // [1 ms, 1 s)
+    }
+  }
+  std::vector<double> windows;
+  std::vector<double> rtts;
+};
+
+TEST_P(LiaProperty, LinearSearchMatchesBruteForce) {
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    const double lin = MptcpLia::increase_linear(windows, rtts, r);
+    const double bf = MptcpLia::increase_bruteforce(windows, rtts, r);
+    EXPECT_NEAR(lin, bf, 1e-15 + 1e-12 * bf) << "r=" << r;
+  }
+}
+
+TEST_P(LiaProperty, IncreaseCappedBySingletonSubset) {
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    EXPECT_LE(MptcpLia::increase_linear(windows, rtts, r),
+              1.0 / windows[r] + 1e-15);
+  }
+}
+
+TEST_P(LiaProperty, IncreaseIsPositive) {
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    EXPECT_GT(MptcpLia::increase_linear(windows, rtts, r), 0.0);
+  }
+}
+
+TEST_P(LiaProperty, LastOrderedPathAttainsMaximumIncrease) {
+  // Every path's candidate set includes the full prefix (all subflows), so
+  // every increase is <= the full-set term. The last path in the
+  // sqrt(w)/RTT ordering has *only* that candidate, so it attains the
+  // maximum increase exactly.
+  std::size_t last = 0;
+  double best = -1.0;
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    const double key = windows[r] / (rtts[r] * rtts[r]);
+    if (key > best) {
+      best = key;
+      last = r;
+    }
+  }
+  const double inc_last = MptcpLia::increase_linear(windows, rtts, last);
+  double max_inc = 0.0;
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    const double inc = MptcpLia::increase_linear(windows, rtts, r);
+    EXPECT_LE(inc, inc_last * (1.0 + 1e-12)) << "r=" << r;
+    max_inc = std::max(max_inc, inc);
+  }
+  EXPECT_NEAR(inc_last, max_inc, 1e-12 * max_inc);
+}
+
+TEST_P(LiaProperty, ScalingRttsUniformlyScalesIncrease) {
+  // Multiplying every RTT by c multiplies eq. (1) by ... numerator 1/c^2,
+  // denominator 1/c^2 -> invariant. Increase must be unchanged.
+  std::vector<double> scaled = rtts;
+  for (double& x : scaled) x *= 3.7;
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    const double a = MptcpLia::increase_linear(windows, rtts, r);
+    const double b = MptcpLia::increase_linear(windows, scaled, r);
+    EXPECT_NEAR(a, b, 1e-12 * a);
+  }
+}
+
+TEST_P(LiaProperty, ScalingWindowsInverselyScalesIncrease) {
+  // w -> c*w scales eq. (1) by 1/c (numerator c, denominator c^2).
+  const double c = 2.5;
+  std::vector<double> scaled = windows;
+  for (double& x : scaled) x *= c;
+  for (std::size_t r = 0; r < windows.size(); ++r) {
+    const double a = MptcpLia::increase_linear(windows, rtts, r);
+    const double b = MptcpLia::increase_linear(scaled, rtts, r);
+    EXPECT_NEAR(a / c, b, 1e-12 * b);
+  }
+}
+
+std::vector<Config> make_configs() {
+  std::vector<Config> cfgs;
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 8u}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      cfgs.push_back({n, seed * 977});
+    }
+  }
+  return cfgs;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, LiaProperty,
+                         ::testing::ValuesIn(make_configs()),
+                         [](const ::testing::TestParamInfo<Config>& info) {
+                           return "n" + std::to_string(info.param.n) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace mpsim::cc

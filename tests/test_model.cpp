@@ -1,0 +1,148 @@
+// Fluid-model unit tests, including the paper's own worked numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/equilibrium.hpp"
+#include "model/fairness.hpp"
+#include "model/tcp_model.hpp"
+
+namespace mpsim::model {
+namespace {
+
+TEST(TcpModel, WindowBalanceEquation) {
+  // Eq. (2) with one path: (1-p)/w * w/RTT = p * w/RTT * w/2.
+  const double p = 0.01;
+  const double w = tcp_window(p);
+  EXPECT_NEAR((1.0 - p) / w, p * w / 2.0, 1e-12);
+}
+
+TEST(TcpModel, SmallLossApproximation) {
+  EXPECT_NEAR(tcp_window(1e-4), std::sqrt(2.0 / 1e-4), 0.01);
+}
+
+TEST(TcpModel, Section23WifiRate) {
+  // "A single-path wifi flow would get 707 pkt/s" (p=4%, RTT 10 ms).
+  EXPECT_NEAR(tcp_rate(0.04, 0.010), 707.0, 1.0);
+}
+
+TEST(TcpModel, Section23ThreeGRate) {
+  // "a single-path 3G flow would get 141 pkt/s" (p=1%, RTT 100 ms).
+  EXPECT_NEAR(tcp_rate(0.01, 0.100), 141.0, 1.0);
+}
+
+TEST(TcpModel, Section23EwtcpRate) {
+  // EWTCP at weight 1/2 on both paths: (707+141)/2 = 424 pkt/s.
+  const double rate = ewtcp_window(0.04, 0.5) / 0.010 +
+                      ewtcp_window(0.01, 0.5) / 0.100;
+  // The text uses the sqrt(2/p) shorthand; allow the (1-p) correction.
+  EXPECT_NEAR(rate, 424.0, 10.0);
+}
+
+TEST(TcpModel, Section23CoupledRate) {
+  // COUPLED puts everything on the less-congested 3G path: 141 pkt/s.
+  CoupledEquilibrium eq = coupled_equilibrium({0.04, 0.01});
+  EXPECT_DOUBLE_EQ(eq.windows[0], 0.0);
+  EXPECT_NEAR(eq.windows[1] / 0.100, 141.0, 1.0);
+}
+
+TEST(TcpModel, CoupledTotalIndependentOfPathCount) {
+  // §2.2: w_total = sqrt(2/p) regardless of the number of paths.
+  const double p = 0.02;
+  for (std::size_t n = 1; n <= 5; ++n) {
+    CoupledEquilibrium eq = coupled_equilibrium(std::vector<double>(n, p));
+    EXPECT_NEAR(eq.total_window, tcp_window(p), 1e-12);
+  }
+}
+
+TEST(TcpModel, CoupledSplitsTiesEvenly) {
+  CoupledEquilibrium eq = coupled_equilibrium({0.01, 0.01, 0.05});
+  EXPECT_DOUBLE_EQ(eq.windows[0], eq.windows[1]);
+  EXPECT_DOUBLE_EQ(eq.windows[2], 0.0);
+}
+
+TEST(TcpModel, SemicoupledPaperWeightExample) {
+  // §2.4: paths at 1%, 1%, 5% loss -> 45%/45%/10% of the total window.
+  const auto w = semicoupled_windows({0.01, 0.01, 0.05}, 1.0);
+  const double total = w[0] + w[1] + w[2];
+  EXPECT_NEAR(w[0] / total, 0.4545, 0.001);
+  EXPECT_NEAR(w[1] / total, 0.4545, 0.001);
+  EXPECT_NEAR(w[2] / total, 0.0909, 0.001);
+}
+
+TEST(Equilibrium, SinglePathMatchesTcp) {
+  auto eq = mptcp_equilibrium({0.01}, {0.1});
+  ASSERT_TRUE(eq.converged);
+  EXPECT_NEAR(eq.windows[0], tcp_window(0.01), 0.01);
+}
+
+TEST(Equilibrium, EqualPathsSplitEvenlyAndSumToTcp) {
+  // Two identical paths: the equilibrium total equals one TCP's window.
+  auto eq = mptcp_equilibrium({0.01, 0.01}, {0.1, 0.1});
+  ASSERT_TRUE(eq.converged);
+  EXPECT_NEAR(eq.windows[0], eq.windows[1], 1e-6);
+  EXPECT_NEAR(eq.windows[0] + eq.windows[1], tcp_window(0.01), 0.05);
+}
+
+TEST(Equilibrium, AppendixIdentityTotalRateEqualsBestTcp) {
+  // The appendix proves sum_r w_r/RTT_r = wTCP_n / RTT_n for the maximal
+  // path: incentive goal (3) holds with equality.
+  const std::vector<double> loss = {0.02, 0.005, 0.01};
+  const std::vector<double> rtt = {0.05, 0.2, 0.1};
+  auto eq = mptcp_equilibrium(loss, rtt);
+  ASSERT_TRUE(eq.converged);
+  double best_tcp = 0.0;
+  for (std::size_t r = 0; r < loss.size(); ++r) {
+    best_tcp = std::max(best_tcp,
+                        std::sqrt(2.0 * (1 - loss[r]) / loss[r]) / rtt[r]);
+  }
+  EXPECT_NEAR(total_rate(eq.windows, rtt), best_tcp, 0.02 * best_tcp);
+}
+
+TEST(Equilibrium, PrefersLessCongestedPath) {
+  auto eq = mptcp_equilibrium({0.05, 0.005}, {0.1, 0.1});
+  ASSERT_TRUE(eq.converged);
+  EXPECT_GT(eq.windows[1], eq.windows[0] * 2.0);
+}
+
+TEST(Fairness, Section25FixedPointSatisfiesBothGoals) {
+  const std::vector<double> loss = {0.04, 0.01};
+  const std::vector<double> rtt = {0.010, 0.100};
+  auto eq = mptcp_equilibrium(loss, rtt);
+  ASSERT_TRUE(eq.converged);
+  auto rep = check_fairness(eq.windows, loss, rtt, 0.05);
+  EXPECT_TRUE(rep.incentive_ok) << "slack=" << rep.incentive_slack;
+  EXPECT_TRUE(rep.do_no_harm_ok) << "slack=" << rep.worst_harm_slack;
+}
+
+TEST(Fairness, DetectsGreedyViolation) {
+  // Running full TCP on both paths of a shared bottleneck violates (4).
+  const std::vector<double> loss = {0.01, 0.01};
+  const std::vector<double> rtt = {0.1, 0.1};
+  const std::vector<double> greedy = {tcp_window(0.01), tcp_window(0.01)};
+  auto rep = check_fairness(greedy, loss, rtt);
+  EXPECT_FALSE(rep.do_no_harm_ok);
+  EXPECT_TRUE(rep.incentive_ok);
+}
+
+TEST(Fairness, DetectsTimidViolation) {
+  // Tiny windows satisfy (4) but fail the incentive goal (3).
+  const std::vector<double> loss = {0.01, 0.01};
+  const std::vector<double> rtt = {0.1, 0.1};
+  const std::vector<double> timid = {0.5, 0.5};
+  auto rep = check_fairness(timid, loss, rtt);
+  EXPECT_TRUE(rep.do_no_harm_ok);
+  EXPECT_FALSE(rep.incentive_ok);
+}
+
+TEST(Fairness, SinglePathTcpIsExactlyFair) {
+  const std::vector<double> loss = {0.02};
+  const std::vector<double> rtt = {0.05};
+  const std::vector<double> w = {std::sqrt(2.0 / 0.02)};
+  auto rep = check_fairness(w, loss, rtt, 1e-9);
+  EXPECT_TRUE(rep.incentive_ok);
+  EXPECT_TRUE(rep.do_no_harm_ok);
+}
+
+}  // namespace
+}  // namespace mpsim::model

@@ -1,0 +1,112 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mpsim::net {
+namespace {
+
+// Sink that records arrivals and forwards (or terminates).
+class RecordingSink : public PacketSink {
+ public:
+  explicit RecordingSink(std::string name, bool terminal = false)
+      : name_(std::move(name)), terminal_(terminal) {}
+  void receive(Packet& pkt) override {
+    ++arrivals;
+    if (terminal_) {
+      pkt.release();
+    } else {
+      pkt.advance();
+    }
+  }
+  const std::string& sink_name() const override { return name_; }
+  int arrivals = 0;
+
+ private:
+  std::string name_;
+  bool terminal_;
+};
+
+TEST(Packet, AllocReturnsCleanPacket) {
+  Packet& p = Packet::alloc();
+  p.flow_id = 99;
+  p.data_seq = 1234;
+  p.is_retransmit = true;
+  p.release();
+  Packet& q = Packet::alloc();  // pool recycles; must be reset
+  EXPECT_EQ(q.flow_id, 0u);
+  EXPECT_EQ(q.data_seq, 0u);
+  EXPECT_FALSE(q.is_retransmit);
+  EXPECT_EQ(q.size_bytes, kDataPacketBytes);
+  q.release();
+}
+
+TEST(Packet, PoolTracksOutstanding) {
+  const std::size_t base = Packet::pool_outstanding();
+  Packet& a = Packet::alloc();
+  Packet& b = Packet::alloc();
+  EXPECT_EQ(Packet::pool_outstanding(), base + 2);
+  a.release();
+  b.release();
+  EXPECT_EQ(Packet::pool_outstanding(), base);
+}
+
+TEST(Packet, SendOnTraversesAllHops) {
+  RecordingSink s1("s1"), s2("s2"), s3("s3", /*terminal=*/true);
+  Route route({&s1, &s2, &s3});
+  Packet& p = Packet::alloc();
+  p.send_on(route);
+  EXPECT_EQ(s1.arrivals, 1);
+  EXPECT_EQ(s2.arrivals, 1);
+  EXPECT_EQ(s3.arrivals, 1);
+}
+
+TEST(Packet, RouteAccessorDuringTraversal) {
+  RecordingSink terminal("t", true);
+  Route route({&terminal});
+  Packet& p = Packet::alloc();
+  p.send_on(route);
+  // Packet is released by the terminal; the route object is untouched.
+  EXPECT_EQ(route.size(), 1u);
+}
+
+TEST(Route, ReverseLinkage) {
+  RecordingSink a("a", true), b("b", true);
+  Route fwd({&a});
+  Route rev({&b});
+  fwd.set_reverse(&rev);
+  rev.set_reverse(&fwd);
+  EXPECT_EQ(fwd.reverse(), &rev);
+  EXPECT_EQ(rev.reverse(), &fwd);
+}
+
+TEST(Route, PushBackBuildsInOrder) {
+  RecordingSink a("a"), b("b");
+  Route r;
+  r.push_back(&a);
+  r.push_back(&b);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.at(0), &a);
+  EXPECT_EQ(r.at(1), &b);
+}
+
+TEST(Packet, SizesMatchConventions) {
+  EXPECT_EQ(kDataPacketBytes, 1500u);
+  EXPECT_EQ(kAckPacketBytes, 40u);
+}
+
+TEST(Packet, ManyAllocReleaseCyclesStayBalanced) {
+  const std::size_t base = Packet::pool_outstanding();
+  std::vector<Packet*> live;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 100; ++i) live.push_back(&Packet::alloc());
+    for (Packet* p : live) p->release();
+    live.clear();
+  }
+  EXPECT_EQ(Packet::pool_outstanding(), base);
+}
+
+}  // namespace
+}  // namespace mpsim::net

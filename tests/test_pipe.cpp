@@ -1,0 +1,91 @@
+#include "net/pipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/event_list.hpp"
+#include "net/cbr.hpp"
+#include "net/packet.hpp"
+
+namespace mpsim::net {
+namespace {
+
+TEST(Pipe, DeliversAfterDelay) {
+  EventList events;
+  CountingSink sink("sink");
+  Pipe pipe(events, "pipe", from_ms(25));
+  Route route({&pipe, &sink});
+  Packet::alloc().send_on(route);
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 1u);
+  EXPECT_EQ(events.now(), from_ms(25));
+}
+
+TEST(Pipe, ZeroDelayDeliversImmediately) {
+  EventList events;
+  CountingSink sink("sink");
+  Pipe pipe(events, "pipe", 0);
+  Route route({&pipe, &sink});
+  Packet::alloc().send_on(route);
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 1u);
+  EXPECT_EQ(events.now(), 0);
+}
+
+TEST(Pipe, PreservesOrderAndSpacing) {
+  EventList events;
+  struct TimedSink : PacketSink {
+    explicit TimedSink(EventList& e) : events(e) {}
+    void receive(Packet& pkt) override {
+      times.push_back(events.now());
+      seqs.push_back(pkt.data_seq);
+      pkt.release();
+    }
+    const std::string& sink_name() const override { return name; }
+    EventList& events;
+    std::string name = "timed";
+    std::vector<SimTime> times;
+    std::vector<std::uint64_t> seqs;
+  } sink(events);
+
+  Pipe pipe(events, "pipe", from_ms(10));
+  Route route({&pipe, &sink});
+
+  // Inject at t=0 and t=3ms via a helper event source.
+  struct Injector : EventSource {
+    Injector(EventList& e, const Route& r) : EventSource("inj"), events(e), route(r) {}
+    void on_event() override {
+      Packet& p = Packet::alloc();
+      p.data_seq = static_cast<std::uint64_t>(count++);
+      p.send_on(route);
+    }
+    EventList& events;
+    const Route& route;
+    int count = 0;
+  } inj(events, route);
+  events.schedule_at(inj, 0);
+  events.schedule_at(inj, from_ms(3));
+  events.run_all();
+
+  ASSERT_EQ(sink.times.size(), 2u);
+  EXPECT_EQ(sink.times[0], from_ms(10));
+  EXPECT_EQ(sink.times[1], from_ms(13));
+  EXPECT_EQ(sink.seqs[0], 0u);
+  EXPECT_EQ(sink.seqs[1], 1u);
+}
+
+TEST(Pipe, ManyInFlightSimultaneously) {
+  EventList events;
+  CountingSink sink("sink");
+  Pipe pipe(events, "pipe", from_ms(100));
+  Route route({&pipe, &sink});
+  for (int i = 0; i < 1000; ++i) Packet::alloc().send_on(route);
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 1000u);
+  EXPECT_EQ(events.now(), from_ms(100));
+}
+
+}  // namespace
+}  // namespace mpsim::net

@@ -1,0 +1,138 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/event_list.hpp"
+#include "net/cbr.hpp"
+#include "net/packet.hpp"
+
+namespace mpsim::net {
+namespace {
+
+Packet& make_data() {
+  Packet& p = Packet::alloc();
+  p.type = PacketType::kCbr;
+  p.size_bytes = kDataPacketBytes;
+  return p;
+}
+
+class QueueTest : public ::testing::Test {
+ protected:
+  EventList events;
+  CountingSink sink{"sink"};
+};
+
+TEST_F(QueueTest, ServiceTimeMatchesRate) {
+  // 12 Mb/s, 1500 B packet -> 1 ms serialization.
+  Queue q(events, "q", 12e6, 100 * kDataPacketBytes);
+  Route route({&q, &sink});
+  make_data().send_on(route);
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 1u);
+  EXPECT_EQ(events.now(), from_ms(1));
+}
+
+TEST_F(QueueTest, BackToBackPacketsSerialise) {
+  Queue q(events, "q", 12e6, 100 * kDataPacketBytes);
+  Route route({&q, &sink});
+  for (int i = 0; i < 5; ++i) make_data().send_on(route);
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 5u);
+  EXPECT_EQ(events.now(), from_ms(5));  // 5 x 1 ms, one at a time
+}
+
+TEST_F(QueueTest, DropTailWhenFull) {
+  // Buffer of exactly 3 packets.
+  Queue q(events, "q", 12e6, 3 * kDataPacketBytes);
+  Route route({&q, &sink});
+  for (int i = 0; i < 10; ++i) make_data().send_on(route);
+  EXPECT_EQ(q.drops(), 7u);
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 3u);
+  EXPECT_EQ(q.arrivals(), 10u);
+  EXPECT_EQ(q.departures(), 3u);
+}
+
+TEST_F(QueueTest, LossRateComputation) {
+  Queue q(events, "q", 12e6, 5 * kDataPacketBytes);
+  Route route({&q, &sink});
+  for (int i = 0; i < 10; ++i) make_data().send_on(route);
+  events.run_all();
+  EXPECT_DOUBLE_EQ(q.loss_rate(), 0.5);
+}
+
+TEST_F(QueueTest, LossRateZeroWhenIdle) {
+  Queue q(events, "q", 1e6, kDataPacketBytes);
+  EXPECT_DOUBLE_EQ(q.loss_rate(), 0.0);
+}
+
+TEST_F(QueueTest, ByteAccounting) {
+  Queue q(events, "q", 12e6, 10 * kDataPacketBytes);
+  Route route({&q, &sink});
+  for (int i = 0; i < 4; ++i) make_data().send_on(route);
+  EXPECT_EQ(q.queued_bytes(), 4u * kDataPacketBytes);
+  EXPECT_EQ(q.queued_packets(), 4u);
+  events.run_all();
+  EXPECT_EQ(q.queued_bytes(), 0u);
+  EXPECT_EQ(q.bytes_forwarded(), 4u * kDataPacketBytes);
+}
+
+TEST_F(QueueTest, SmallPacketsServeFaster) {
+  Queue q(events, "q", 8e6, 100 * kDataPacketBytes);
+  Route route({&q, &sink});
+  Packet& p = Packet::alloc();
+  p.type = PacketType::kCbr;
+  p.size_bytes = 1000;  // 8 Mb/s -> 1 ms
+  p.send_on(route);
+  events.run_all();
+  EXPECT_EQ(events.now(), from_ms(1));
+}
+
+TEST_F(QueueTest, FifoOrderPreserved) {
+  Queue q(events, "q", 12e6, 100 * kDataPacketBytes);
+  // Terminal sink records data_seq order.
+  struct OrderSink : PacketSink {
+    void receive(Packet& pkt) override {
+      seqs.push_back(pkt.data_seq);
+      pkt.release();
+    }
+    const std::string& sink_name() const override { return name; }
+    std::string name = "order";
+    std::vector<std::uint64_t> seqs;
+  } order;
+  Route route({&q, &order});
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Packet& p = make_data();
+    p.data_seq = i;
+    p.send_on(route);
+  }
+  events.run_all();
+  ASSERT_EQ(order.seqs.size(), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(order.seqs[i], i);
+}
+
+TEST_F(QueueTest, ResetStatsClearsCounters) {
+  Queue q(events, "q", 12e6, 2 * kDataPacketBytes);
+  Route route({&q, &sink});
+  for (int i = 0; i < 5; ++i) make_data().send_on(route);
+  events.run_all();
+  q.reset_stats();
+  EXPECT_EQ(q.arrivals(), 0u);
+  EXPECT_EQ(q.drops(), 0u);
+  EXPECT_EQ(q.departures(), 0u);
+}
+
+TEST_F(QueueTest, DroppedPacketsReturnToPool) {
+  const std::size_t base = Packet::pool_outstanding();
+  Queue q(events, "q", 12e6, kDataPacketBytes);  // fits one packet
+  Route route({&q, &sink});
+  for (int i = 0; i < 4; ++i) make_data().send_on(route);
+  events.run_all();
+  EXPECT_EQ(Packet::pool_outstanding(), base);
+}
+
+}  // namespace
+}  // namespace mpsim::net

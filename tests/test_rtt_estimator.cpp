@@ -1,0 +1,79 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpsim::tcp {
+namespace {
+
+TEST(RttEstimator, NoSampleUsesFallback) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.srtt(from_ms(42)), from_ms(42));
+}
+
+TEST(RttEstimator, InitialRtoIsConservative) {
+  RttEstimator est;
+  EXPECT_GE(est.rto(), from_sec(1));
+}
+
+TEST(RttEstimator, FirstSampleInitialisesSrtt) {
+  RttEstimator est;
+  est.add_sample(from_ms(80));
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.srtt(), from_ms(80));
+  EXPECT_EQ(est.rttvar(), from_ms(40));
+}
+
+TEST(RttEstimator, SmoothingConvergesToConstantInput) {
+  RttEstimator est;
+  for (int i = 0; i < 100; ++i) est.add_sample(from_ms(50));
+  EXPECT_NEAR(to_ms(est.srtt()), 50.0, 0.5);
+  EXPECT_NEAR(to_ms(est.rttvar()), 0.0, 1.0);
+}
+
+TEST(RttEstimator, JumpsAreSmoothed) {
+  RttEstimator est;
+  for (int i = 0; i < 50; ++i) est.add_sample(from_ms(10));
+  est.add_sample(from_ms(100));
+  // One outlier shifts SRTT by 1/8 of the error.
+  EXPECT_NEAR(to_ms(est.srtt()), 10.0 + 90.0 / 8, 1.0);
+}
+
+TEST(RttEstimator, RtoHasFloor) {
+  RttEstimator est(from_ms(200));
+  for (int i = 0; i < 100; ++i) est.add_sample(from_us(100));
+  EXPECT_EQ(est.rto(), from_ms(200));
+}
+
+TEST(RttEstimator, RtoTracksVariance) {
+  RttEstimator est(from_ms(1));
+  // Alternate 50 and 150 ms: high variance keeps RTO well above SRTT.
+  for (int i = 0; i < 100; ++i) {
+    est.add_sample(from_ms(i % 2 == 0 ? 50 : 150));
+  }
+  EXPECT_GT(est.rto(), est.srtt());
+  EXPECT_GT(est.rto(), from_ms(150));
+}
+
+TEST(RttEstimator, RtoHasCeiling) {
+  RttEstimator est(from_ms(200), from_sec(2));
+  for (int i = 0; i < 10; ++i) est.add_sample(from_sec(10));
+  EXPECT_EQ(est.rto(), from_sec(2));
+}
+
+TEST(RttEstimator, MinSeenTracksMinimum) {
+  RttEstimator est;
+  est.add_sample(from_ms(30));
+  est.add_sample(from_ms(10));
+  est.add_sample(from_ms(20));
+  EXPECT_EQ(est.min_seen(), from_ms(10));
+}
+
+TEST(RttEstimator, NegativeSamplesIgnored) {
+  RttEstimator est;
+  est.add_sample(-5);
+  EXPECT_FALSE(est.has_sample());
+}
+
+}  // namespace
+}  // namespace mpsim::tcp

@@ -1,0 +1,118 @@
+#include "mptcp/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpsim::mptcp {
+namespace {
+
+TEST(DataScheduler, HandsOutSequentialData) {
+  DataScheduler s(0, 1000);
+  std::uint64_t d = 99;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(s.next_data(d));
+    EXPECT_EQ(d, i);
+  }
+  EXPECT_EQ(s.next_new(), 5u);
+}
+
+TEST(DataScheduler, RespectsFlowControlWindow) {
+  DataScheduler s(0, 3);
+  std::uint64_t d;
+  EXPECT_TRUE(s.next_data(d));
+  EXPECT_TRUE(s.next_data(d));
+  EXPECT_TRUE(s.next_data(d));
+  EXPECT_FALSE(s.next_data(d)) << "right edge reached";
+  s.on_data_ack(1, 3);  // cum=1, window 3 -> edge 4
+  EXPECT_TRUE(s.next_data(d));
+  EXPECT_EQ(d, 3u);
+  EXPECT_FALSE(s.next_data(d));
+}
+
+TEST(DataScheduler, RightEdgeNeverRetreats) {
+  DataScheduler s(0, 10);
+  s.on_data_ack(5, 10);  // edge 15
+  s.on_data_ack(3, 2);   // stale reordered ACK: edge would be 5; ignore
+  EXPECT_EQ(s.right_edge(), 15u);
+  EXPECT_EQ(s.data_cum_ack(), 5u);
+}
+
+TEST(DataScheduler, CumAckMonotone) {
+  DataScheduler s(0, 10);
+  s.on_data_ack(7, 10);
+  s.on_data_ack(4, 10);
+  EXPECT_EQ(s.data_cum_ack(), 7u);
+}
+
+TEST(DataScheduler, AppLimitStopsNewData) {
+  DataScheduler s(3, 1000);
+  std::uint64_t d;
+  EXPECT_TRUE(s.next_data(d));
+  EXPECT_TRUE(s.next_data(d));
+  EXPECT_TRUE(s.next_data(d));
+  EXPECT_FALSE(s.next_data(d));
+  EXPECT_TRUE(s.app_limited());
+  EXPECT_FALSE(s.complete());
+  s.on_data_ack(3, 1000);
+  EXPECT_TRUE(s.complete());
+}
+
+TEST(DataScheduler, UnlimitedStreamNeverCompletes) {
+  DataScheduler s(0, 1u << 20);
+  s.on_data_ack(1u << 19, 1u << 20);
+  EXPECT_FALSE(s.complete());
+}
+
+TEST(DataScheduler, ReinjectionsHavePriority) {
+  DataScheduler s(0, 1000);
+  std::uint64_t d;
+  for (int i = 0; i < 10; ++i) s.next_data(d);
+  s.reinject({4, 7});
+  ASSERT_TRUE(s.next_data(d));
+  EXPECT_EQ(d, 4u);
+  ASSERT_TRUE(s.next_data(d));
+  EXPECT_EQ(d, 7u);
+  ASSERT_TRUE(s.next_data(d));
+  EXPECT_EQ(d, 10u) << "fresh data resumes after reinjections";
+}
+
+TEST(DataScheduler, ReinjectionDeduplicates) {
+  DataScheduler s(0, 1000);
+  std::uint64_t d;
+  for (int i = 0; i < 5; ++i) s.next_data(d);
+  s.reinject({2, 3});
+  s.reinject({3, 2, 2});
+  EXPECT_EQ(s.reinject_backlog(), 2u);
+}
+
+TEST(DataScheduler, AckedReinjectionsAreSkipped) {
+  DataScheduler s(0, 1000);
+  std::uint64_t d;
+  for (int i = 0; i < 5; ++i) s.next_data(d);
+  s.reinject({1, 2});
+  s.on_data_ack(3, 1000);  // both already acked
+  ASSERT_TRUE(s.next_data(d));
+  EXPECT_EQ(d, 5u) << "stale reinjections discarded";
+}
+
+TEST(DataScheduler, AlreadyAckedNotQueued) {
+  DataScheduler s(0, 1000);
+  std::uint64_t d;
+  for (int i = 0; i < 5; ++i) s.next_data(d);
+  s.on_data_ack(4, 1000);
+  s.reinject({1, 2, 4});
+  EXPECT_EQ(s.reinject_backlog(), 1u);  // only seq 4 survives
+}
+
+TEST(DataScheduler, ReinjectionBypassesFlowControl) {
+  // A reinjection is a retransmission of data already inside the window.
+  DataScheduler s(0, 3);
+  std::uint64_t d;
+  while (s.next_data(d)) {
+  }
+  s.reinject({0});
+  EXPECT_TRUE(s.next_data(d));
+  EXPECT_EQ(d, 0u);
+}
+
+}  // namespace
+}  // namespace mpsim::mptcp

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/event_list.hpp"
+#include "stats/monitors.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace mpsim::stats {
+namespace {
+
+TEST(Summary, JainPerfectFairness) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+}
+
+TEST(Summary, JainWorstCase) {
+  // One flow hogging everything: index = 1/n.
+  EXPECT_NEAR(jain_index({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(Summary, JainPaperTorusValue) {
+  // Sanity on the formula with a mildly uneven allocation:
+  // (2.8)^2 / (3 * 2.64) = 0.98990.
+  EXPECT_NEAR(jain_index({1.0, 1.0, 0.8}), 0.98990, 0.0001);
+}
+
+TEST(Summary, JainEdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0, 0}), 1.0);
+}
+
+TEST(Summary, BasicAggregates) {
+  const std::vector<double> xs = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(minimum(xs), 1.0);
+  EXPECT_DOUBLE_EQ(maximum(xs), 4.0);
+  EXPECT_NEAR(stddev(xs), 1.2909944, 1e-6);
+}
+
+TEST(Summary, PercentileNearestRank) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 100.0);
+  EXPECT_NEAR(percentile(xs, 0.5), 50.0, 1.0);
+}
+
+TEST(Summary, RankSortedAscending) {
+  auto r = rank_sorted({3, 1, 2});
+  EXPECT_EQ(r, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(Monitors, CounterSeriesComputesDeltas) {
+  EventList events;
+  std::uint64_t counter = 0;
+  CounterSeries series(events, "s", from_ms(100), [&] { return counter; });
+  series.start(0);
+  // Counter grows by 10 per 100 ms via a driver event.
+  struct Driver : EventSource {
+    Driver(EventList& e, std::uint64_t& c) : EventSource("d"), ev(e), c(c) {}
+    void on_event() override {
+      c += 10;
+      if (++n < 20) ev.schedule_in(*this, from_ms(100));
+    }
+    EventList& ev;
+    std::uint64_t& c;
+    int n = 0;
+  } driver(events, counter);
+  events.schedule_at(driver, from_ms(50));
+  events.run_until(from_sec(2));
+  ASSERT_GE(series.points().size(), 15u);
+  for (const auto& p : series.points()) EXPECT_EQ(p.delta, 10u);
+  EXPECT_NEAR(series.mean_rate(), 100.0, 1.0);  // 10 per 0.1 s
+}
+
+TEST(Monitors, PktsToMbps) {
+  // 1000 pkts x 1500 B x 8 over 1 s = 12 Mb/s.
+  EXPECT_DOUBLE_EQ(pkts_to_mbps(1000, from_sec(1)), 12.0);
+  EXPECT_DOUBLE_EQ(pkts_to_mbps(0, from_sec(1)), 0.0);
+  EXPECT_DOUBLE_EQ(pkts_to_mbps(1000, 0), 0.0);
+}
+
+TEST(Monitors, PeriodicSamplerStops) {
+  EventList events;
+  int calls = 0;
+  PeriodicSampler s(events, "s", from_ms(10), [&](SimTime) { ++calls; });
+  s.start(0);
+  events.run_until(from_ms(55));
+  s.stop();
+  events.run_until(from_ms(200));
+  EXPECT_EQ(calls, 6);  // t = 0,10,...,50
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t({"algo", "tp1", "tp2"});
+  t.add_row("MPTCP", {95.0, 97.0});
+  t.add_row({"SINGLE", "51", "94"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("MPTCP"), std::string::npos);
+  EXPECT_NE(s.find("95.0"), std::string::npos);
+  EXPECT_NE(s.find("SINGLE"), std::string::npos);
+  EXPECT_NE(s.find("tp2"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, FmtDoublePrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace mpsim::stats

@@ -1,0 +1,105 @@
+// Mid-connection subflow establishment (§6: "After this, additional
+// subflows can be initiated"): a running connection acquires a new path —
+// the mobile "new basestation" case — and the coupled controller folds it
+// into the stripe.
+#include <gtest/gtest.h>
+
+#include "cc/ewtcp.hpp"
+#include "cc/mptcp_lia.hpp"
+#include "mptcp/connection.hpp"
+#include "sim_fixtures.hpp"
+#include "stats/monitors.hpp"
+#include "topo/network.hpp"
+#include "topo/two_link.hpp"
+
+namespace mpsim {
+namespace {
+
+using mptcp::MptcpConnection;
+using test::SingleLink;
+
+TEST(SubflowJoin, LateSubflowCarriesTrafficImmediately) {
+  EventList events;
+  topo::Network net(events);
+  topo::LinkSpec spec;
+  spec.rate_bps = 10e6;
+  spec.one_way_delay = from_ms(10);
+  spec.buf_bytes = topo::bdp_bytes(10e6, from_ms(20));
+  topo::TwoLink links(net, spec, spec);
+  MptcpConnection mp(events, "mp", cc::mptcp_lia());
+  mp.add_subflow(links.fwd(0), links.rev(0));
+  mp.start(0);
+  events.run_until(from_sec(10));
+  const auto single_path = mp.delivered_pkts();
+  ASSERT_EQ(mp.num_subflows(), 1u);
+
+  // New path appears mid-flight.
+  mp.add_subflow(links.fwd(1), links.rev(1));
+  EXPECT_EQ(mp.num_subflows(), 2u);
+  events.run_until(from_sec(12));
+  EXPECT_GT(mp.subflow(1).packets_acked(), 100u)
+      << "the joiner must start moving data within seconds";
+  events.run_until(from_sec(25));
+  // Aggregate rate roughly doubles once both links are in use.
+  const double before_mbps = stats::pkts_to_mbps(single_path, from_sec(10));
+  const double after_mbps = stats::pkts_to_mbps(
+      mp.delivered_pkts() - single_path, from_sec(15));
+  EXPECT_GT(after_mbps, 1.6 * before_mbps);
+  EXPECT_EQ(mp.receiver().window_violations(), 0u);
+}
+
+TEST(SubflowJoin, JoinerOnSharedBottleneckStaysFair) {
+  // The new subflow shares the existing bottleneck: total take must stay
+  // about one TCP's worth (the whole point of coupling), not grow.
+  EventList events;
+  topo::Network net(events);
+  SingleLink link(net, 12e6, from_ms(10), topo::bdp_bytes(12e6, from_ms(20)));
+  MptcpConnection mp(events, "mp", cc::mptcp_lia());
+  mp.add_subflow(link.fwd(), link.rev());
+  auto tcp = test::single_tcp(events, "tcp", link);
+  mp.start(0);
+  tcp->start(from_ms(53));
+  events.run_until(from_sec(20));
+  mp.add_subflow(link.fwd(), link.rev());  // join on the SAME bottleneck
+  events.run_until(from_sec(30));          // let it converge
+  const auto mp0 = mp.delivered_pkts();
+  const auto tcp0 = tcp->delivered_pkts();
+  events.run_until(from_sec(100));
+  const double mp_share = static_cast<double>(mp.delivered_pkts() - mp0);
+  const double tcp_share = static_cast<double>(tcp->delivered_pkts() - tcp0);
+  EXPECT_NEAR(mp_share / (mp_share + tcp_share), 0.5, 0.12)
+      << "coupling must absorb the joiner at a shared bottleneck";
+}
+
+TEST(SubflowJoin, EwtcpWeightAdaptsToSubflowCount) {
+  // EWTCP's auto weight is 1/n; after a join it must re-weight.
+  EventList events;
+  topo::Network net(events);
+  SingleLink link(net, 10e6, from_ms(10), topo::bdp_bytes(10e6, from_ms(20)));
+  MptcpConnection mp(events, "mp", cc::ewtcp());
+  mp.add_subflow(link.fwd(), link.rev());
+  EXPECT_DOUBLE_EQ(cc::ewtcp().weight_for(mp), 1.0);
+  mp.add_subflow(link.fwd(), link.rev());
+  EXPECT_DOUBLE_EQ(cc::ewtcp().weight_for(mp), 0.5);
+  mp.add_subflow(link.fwd(), link.rev());
+  EXPECT_DOUBLE_EQ(cc::ewtcp().weight_for(mp), 1.0 / 3.0);
+}
+
+TEST(SubflowJoin, JoinBeforeStartIsEquivalentToConstruction) {
+  EventList events;
+  topo::Network net(events);
+  topo::LinkSpec spec;
+  spec.rate_bps = 10e6;
+  spec.one_way_delay = from_ms(10);
+  spec.buf_bytes = topo::bdp_bytes(10e6, from_ms(20));
+  topo::TwoLink links(net, spec, spec);
+  MptcpConnection mp(events, "mp", cc::mptcp_lia());
+  mp.add_subflow(links.fwd(0), links.rev(0));
+  mp.add_subflow(links.fwd(1), links.rev(1));  // both before start
+  mp.start(from_sec(1));
+  events.run_until(from_sec(11));
+  EXPECT_GT(stats::pkts_to_mbps(mp.delivered_pkts(), from_sec(10)), 14.0);
+}
+
+}  // namespace
+}  // namespace mpsim

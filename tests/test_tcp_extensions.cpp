@@ -1,0 +1,168 @@
+// Optional TCP features: RFC 3042 Limited Transmit, the paper's
+// per-window-quantum increase computation, and delayed ACKs.
+#include <gtest/gtest.h>
+
+#include "cc/mptcp_lia.hpp"
+#include "cc/uncoupled.hpp"
+#include "mptcp/connection.hpp"
+#include "sim_fixtures.hpp"
+#include "stats/monitors.hpp"
+#include "topo/network.hpp"
+
+namespace mpsim {
+namespace {
+
+using mptcp::ConnectionConfig;
+using mptcp::MptcpConnection;
+using test::SingleLink;
+
+// --- Limited Transmit -----------------------------------------------------
+
+double lossy_path_rate(bool limited_transmit, double loss) {
+  EventList events;
+  topo::Network net(events);
+  auto& lossy = net.add_lossy("loss", loss, 77);
+  auto& q = net.add_queue("q", 1e9, 1u << 30);
+  auto& pipe = net.add_pipe("p", from_ms(25));
+  auto& ack = net.add_pipe("a", from_ms(25));
+  ConnectionConfig cfg;
+  cfg.subflow.limited_transmit = limited_transmit;
+  auto tcp = mptcp::make_single_path_tcp(events, "t", {&lossy, &q, &pipe},
+                                         {&ack}, cfg);
+  tcp->start(0);
+  events.run_until(from_sec(5));
+  const auto before = tcp->delivered_pkts();
+  events.run_until(from_sec(65));
+  return static_cast<double>(tcp->delivered_pkts() - before) / 60.0;
+}
+
+TEST(LimitedTransmit, HelpsAtSmallWindows) {
+  // At 10% loss the window hovers at ~4 packets, right at the dupack
+  // threshold; limited transmit keeps the ACK clock alive and converts
+  // many would-be RTOs into fast retransmits (measured: ~+16%).
+  const double with = lossy_path_rate(true, 0.10);
+  const double without = lossy_path_rate(false, 0.10);
+  EXPECT_GT(with, without * 1.05)
+      << "with=" << with << " without=" << without;
+}
+
+TEST(LimitedTransmit, HarmlessAtLargeWindows) {
+  const double with = lossy_path_rate(true, 0.001);
+  const double without = lossy_path_rate(false, 0.001);
+  EXPECT_NEAR(with / without, 1.0, 0.15);
+}
+
+TEST(LimitedTransmit, TimeoutCountDrops) {
+  auto timeouts = [](bool lt) {
+    EventList events;
+    topo::Network net(events);
+    auto& lossy = net.add_lossy("loss", 0.10, 77);
+    auto& q = net.add_queue("q", 1e9, 1u << 30);
+    auto& pipe = net.add_pipe("p", from_ms(25));
+    auto& ack = net.add_pipe("a", from_ms(25));
+    ConnectionConfig cfg;
+    cfg.subflow.limited_transmit = lt;
+    auto tcp = mptcp::make_single_path_tcp(events, "t", {&lossy, &q, &pipe},
+                                           {&ack}, cfg);
+    tcp->start(0);
+    events.run_until(from_sec(120));
+    return tcp->subflow(0).timeouts();
+  };
+  EXPECT_LT(timeouts(true) * 5, timeouts(false) * 4)
+      << "expect >= 20% fewer timeouts with limited transmit";
+}
+
+// --- Quantized increase ---------------------------------------------------
+
+TEST(QuantizedIncrease, ThroughputMatchesPerAckEvaluation) {
+  auto run = [](bool quantized) {
+    EventList events;
+    topo::Network net(events);
+    SingleLink l1(net, 10e6, from_ms(10), topo::bdp_bytes(10e6, from_ms(20)),
+                  "l1");
+    SingleLink l2(net, 10e6, from_ms(30), topo::bdp_bytes(10e6, from_ms(60)),
+                  "l2");
+    ConnectionConfig cfg;
+    cfg.subflow.quantized_increase = quantized;
+    MptcpConnection mp(events, "mp", cc::mptcp_lia(), cfg);
+    mp.add_subflow(l1.fwd(), l1.rev());
+    mp.add_subflow(l2.fwd(), l2.rev());
+    mp.start(0);
+    events.run_until(from_sec(30));
+    return mp.delivered_pkts();
+  };
+  const double per_ack = static_cast<double>(run(false));
+  const double quantized = static_cast<double>(run(true));
+  // The paper states the optimisation is behaviourally equivalent; allow
+  // a few percent of drift from the different update granularity.
+  EXPECT_NEAR(quantized / per_ack, 1.0, 0.05);
+}
+
+// --- Delayed ACKs -----------------------------------------------------------
+
+TEST(DelayedAck, HalvesAckTraffic) {
+  auto acks = [](bool delayed) {
+    EventList events;
+    topo::Network net(events);
+    SingleLink link(net, 10e6, from_ms(10),
+                    topo::bdp_bytes(10e6, from_ms(20)));
+    auto tcp = test::single_tcp(events, "t", link);
+    tcp->receiver().set_delayed_ack(delayed);
+    tcp->start(0);
+    events.run_until(from_sec(10));
+    return std::make_pair(tcp->receiver().acks_sent(),
+                          tcp->receiver().packets_received());
+  };
+  const auto [acked_d, rcvd_d] = acks(true);
+  const auto [acked_n, rcvd_n] = acks(false);
+  EXPECT_EQ(acked_n, rcvd_n) << "per-packet acking without delack";
+  EXPECT_LT(acked_d, rcvd_d * 7 / 10)
+      << "delayed acks should cut ACK volume substantially";
+}
+
+TEST(DelayedAck, ThroughputBarelyAffected) {
+  auto rate = [](bool delayed) {
+    EventList events;
+    topo::Network net(events);
+    SingleLink link(net, 10e6, from_ms(10),
+                    topo::bdp_bytes(10e6, from_ms(20)));
+    auto tcp = test::single_tcp(events, "t", link);
+    tcp->receiver().set_delayed_ack(delayed);
+    tcp->start(0);
+    events.run_until(from_sec(20));
+    return static_cast<double>(tcp->delivered_pkts());
+  };
+  EXPECT_GT(rate(true), rate(false) * 0.85);
+}
+
+TEST(DelayedAck, LossStillDetectedPromptly) {
+  // Out-of-order arrivals must be acked immediately even with delack on,
+  // so fast retransmit happens and timeouts stay rare.
+  EventList events;
+  topo::Network net(events);
+  SingleLink link(net, 10e6, from_ms(10), topo::bdp_bytes(10e6, from_ms(20)));
+  auto tcp = test::single_tcp(events, "t", link);
+  tcp->receiver().set_delayed_ack(true);
+  tcp->start(0);
+  events.run_until(from_sec(20));
+  EXPECT_GT(tcp->subflow(0).loss_events(), 3u);
+  EXPECT_LE(tcp->subflow(0).timeouts(), 1u);
+}
+
+TEST(DelayedAck, IdleFlushViaTimer) {
+  // A single segment with nothing following must still be acked (after
+  // the delack timeout), or the sender would stall forever.
+  EventList events;
+  topo::Network net(events);
+  SingleLink link(net, 10e6, from_ms(10), 100 * net::kDataPacketBytes);
+  ConnectionConfig cfg;
+  cfg.app_limit_pkts = 1;  // exactly one packet: no second segment ever
+  auto tcp = test::single_tcp(events, "t", link, cfg);
+  tcp->receiver().set_delayed_ack(true);
+  tcp->start(0);
+  events.run_until(from_sec(2));
+  EXPECT_TRUE(tcp->complete());
+}
+
+}  // namespace
+}  // namespace mpsim

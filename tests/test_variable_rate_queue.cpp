@@ -1,0 +1,138 @@
+#include "net/variable_rate_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/event_list.hpp"
+#include "net/cbr.hpp"
+#include "net/packet.hpp"
+
+namespace mpsim::net {
+namespace {
+
+Packet& make_data() {
+  Packet& p = Packet::alloc();
+  p.type = PacketType::kCbr;
+  return p;
+}
+
+// Helper event that changes the rate of a queue at a scheduled time.
+class RateChanger : public EventSource {
+ public:
+  RateChanger(VariableRateQueue& q, double rate)
+      : EventSource("chg"), q_(q), rate_(rate) {}
+  void on_event() override { q_.set_rate(rate_); }
+
+ private:
+  VariableRateQueue& q_;
+  double rate_;
+};
+
+TEST(VariableRateQueue, BehavesLikeFixedQueueWithoutChanges) {
+  EventList events;
+  CountingSink sink("sink");
+  VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
+  Route route({&q, &sink});
+  for (int i = 0; i < 3; ++i) make_data().send_on(route);
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 3u);
+  EXPECT_EQ(events.now(), from_ms(3));
+}
+
+TEST(VariableRateQueue, RateChangeMidServiceRescales) {
+  EventList events;
+  CountingSink sink("sink");
+  // 12 Mb/s: a packet takes 1 ms. Halve the rate halfway through: the
+  // remaining half takes 1 ms at 6 Mb/s -> completes at 1.5 ms.
+  VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
+  Route route({&q, &sink});
+  make_data().send_on(route);
+  RateChanger slow(q, 6e6);
+  events.schedule_at(slow, from_us(500));
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 1u);
+  EXPECT_EQ(events.now(), from_us(1500));
+}
+
+TEST(VariableRateQueue, SpeedupMidServiceFinishesEarlier) {
+  EventList events;
+  struct TimedSink : PacketSink {
+    explicit TimedSink(EventList& e) : events(e) {}
+    void receive(Packet& pkt) override {
+      delivered_at = events.now();
+      pkt.release();
+    }
+    const std::string& sink_name() const override { return name; }
+    EventList& events;
+    std::string name = "timed";
+    SimTime delivered_at = -1;
+  } sink(events);
+  VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
+  Route route({&q, &sink});
+  make_data().send_on(route);
+  RateChanger fast(q, 24e6);
+  events.schedule_at(fast, from_us(500));
+  events.run_all();
+  // Half done at 0.5 ms; remaining half at double speed takes 0.25 ms.
+  // (A stale wake-up from the original 1 ms schedule fires later and is
+  // ignored, so assert on the delivery time, not the final clock.)
+  EXPECT_EQ(sink.delivered_at, from_us(750));
+}
+
+TEST(VariableRateQueue, OutageFreezesAndResumes) {
+  EventList events;
+  CountingSink sink("sink");
+  VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
+  Route route({&q, &sink});
+  make_data().send_on(route);
+  RateChanger off(q, 0.0);
+  RateChanger on(q, 12e6);
+  events.schedule_at(off, from_us(500));
+  events.schedule_at(on, from_ms(10));
+  events.run_all();
+  // Half transmitted before the outage; the second half (0.5 ms) completes
+  // after service resumes at 10 ms.
+  EXPECT_EQ(sink.packets(), 1u);
+  EXPECT_EQ(events.now(), from_ms(10) + from_us(500));
+  EXPECT_FALSE(q.in_outage());
+}
+
+TEST(VariableRateQueue, ArrivalsDuringOutageQueueUp) {
+  EventList events;
+  CountingSink sink("sink");
+  VariableRateQueue q(events, "vq", 12e6, 10 * kDataPacketBytes);
+  Route route({&q, &sink});
+  q.set_rate(0.0);
+  for (int i = 0; i < 5; ++i) make_data().send_on(route);
+  EXPECT_EQ(q.queued_packets(), 5u);
+  RateChanger on(q, 12e6);
+  events.schedule_at(on, from_ms(100));
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 5u);
+  EXPECT_EQ(events.now(), from_ms(105));
+}
+
+TEST(VariableRateQueue, DropsStillApplyDuringOutage) {
+  EventList events;
+  CountingSink sink("sink");
+  VariableRateQueue q(events, "vq", 12e6, 2 * kDataPacketBytes);
+  Route route({&q, &sink});
+  q.set_rate(0.0);
+  for (int i = 0; i < 5; ++i) make_data().send_on(route);
+  EXPECT_EQ(q.drops(), 3u);
+}
+
+TEST(RateSchedule, AppliesChangesInOrder) {
+  EventList events;
+  CountingSink sink("sink");
+  VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
+  RateSchedule sched(events, q,
+                     {{from_ms(5), 0.0}, {from_ms(20), 24e6}});
+  events.run_until(from_ms(6));
+  EXPECT_TRUE(q.in_outage());
+  events.run_until(from_ms(21));
+  EXPECT_FALSE(q.in_outage());
+  EXPECT_DOUBLE_EQ(q.rate_bps(), 24e6);
+}
+
+}  // namespace
+}  // namespace mpsim::net
