@@ -6,6 +6,14 @@
 // and access links separately. Paper's shape: MPTCP's throughput curve is
 // higher and much flatter (fairer) than EWTCP's; single-path has a long
 // tail of starved flows. MPTCP also balances core-link loss best.
+//
+// The three algorithm runs are independent simulations, so they execute
+// concurrently on the ExperimentRunner (MPSIM_THREADS=1 forces the old
+// sequential behaviour); results are identical either way. A
+// BENCH_fig13_fattree_dist.json file records per-run metrics and the
+// headline statistics.
+#include <array>
+
 #include "cc/ewtcp.hpp"
 #include "cc/mptcp_lia.hpp"
 #include "datacenter.hpp"
@@ -19,8 +27,7 @@ struct Dist {
   std::vector<double> access_loss_pct;
 };
 
-Dist run(const cc::CongestionControl* algo) {
-  EventList events;
+Dist run(EventList& events, const cc::CongestionControl* algo) {
   topo::Network net(events);
   topo::FatTree ft(net, 8);
   Rng tm_rng(4243);
@@ -57,6 +64,13 @@ double at_quantile(const std::vector<double>& sorted, double q) {
   return sorted[idx];
 }
 
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : v) total += x;
+  return total / static_cast<double>(v.size());
+}
+
 }  // namespace
 }  // namespace mpsim
 
@@ -67,9 +81,28 @@ int main() {
       "flow-throughput curve: MPTCP higher & flatter than EWTCP; "
       "single-path has a starved tail. Loss balanced best by MPTCP");
 
-  const Dist single = run(nullptr);
-  const Dist ewtcp = run(&cc::ewtcp());
-  const Dist mptcp = run(&cc::mptcp_lia());
+  const char* names[3] = {"SINGLE", "EWTCP", "MPTCP"};
+  const cc::CongestionControl* algos[3] = {nullptr, &cc::ewtcp(),
+                                           &cc::mptcp_lia()};
+  std::array<Dist, 3> dists;
+
+  runner::RunnerConfig rcfg;
+  rcfg.threads = bench::env_threads();
+  runner::ExperimentRunner exp(rcfg);
+  for (int i = 0; i < 3; ++i) {
+    exp.add(names[i], [&dists, &algos, i](runner::RunContext& ctx) {
+      dists[static_cast<std::size_t>(i)] = run(ctx.events(), algos[i]);
+      const Dist& d = dists[static_cast<std::size_t>(i)];
+      ctx.record("jain_index", stats::jain_index(d.flow_mbps));
+      ctx.record("mean_flow_mbps", mean(d.flow_mbps));
+      ctx.record("median_flow_mbps", at_quantile(d.flow_mbps, 0.5));
+      ctx.record("max_core_loss_pct", at_quantile(d.core_loss_pct, 1.0));
+    });
+  }
+  const auto results = exp.run_all();
+  const Dist& single = dists[0];
+  const Dist& ewtcp = dists[1];
+  const Dist& mptcp = dists[2];
 
   std::printf("flow throughput (Mb/s) by rank quantile:\n");
   stats::Table ft({"quantile", "SINGLE", "EWTCP", "MPTCP"});
@@ -109,5 +142,25 @@ int main() {
                3);
   }
   at.print();
+
+  std::printf("\nrunner: %zu runs on %u threads, %.2fs total run wall\n",
+              exp.job_count(), exp.resolved_threads(),
+              runner::total_wall_seconds(results));
+
+  bench::Json root = bench::Json::object();
+  root.set("bench", "fig13_fattree_dist");
+  root.set("threads", static_cast<double>(exp.resolved_threads()));
+  root.set("runs", bench::json_from_results(results));
+  bench::Json quantiles = bench::Json::object();
+  for (int i = 0; i < 3; ++i) {
+    std::vector<double> qs;
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      qs.push_back(at_quantile(dists[static_cast<std::size_t>(i)].flow_mbps,
+                               q));
+    }
+    quantiles.set(names[i], bench::Json::array_of(qs));
+  }
+  root.set("flow_mbps_quantiles", std::move(quantiles));
+  bench::write_bench_json("fig13_fattree_dist", root);
   return 0;
 }

@@ -1,47 +1,83 @@
 // Microbenchmarks of the simulator core (google-benchmark): event-loop
-// dispatch, queue+pipe packet forwarding, the LIA increase computation
-// (linear vs brute force), and a complete small TCP simulation. These
-// bound how much simulated time the experiment harness can afford.
+// dispatch under both scheduler backends, queue+pipe packet forwarding, the
+// LIA increase computation (linear vs brute force), and a complete small TCP
+// simulation. These bound how much simulated time the experiment harness can
+// afford.
+//
+// After the google-benchmark suites, main() runs a head-to-head scheduler
+// comparison (binary heap vs timing wheel) through the ExperimentRunner and
+// writes BENCH_micro_core.json. The headline number is
+// dispatch.wheel_speedup: timing-wheel events/sec over binary-heap
+// events/sec on the same dispatch workload — the regression gate for the
+// scheduler hot path.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cc/mptcp_lia.hpp"
 #include "core/event_list.hpp"
 #include "core/rng.hpp"
+#include "harness.hpp"
 #include "mptcp/connection.hpp"
 #include "net/cbr.hpp"
 #include "net/packet.hpp"
 #include "net/pipe.hpp"
 #include "net/queue.hpp"
+#include "runner/experiment_runner.hpp"
 #include "topo/network.hpp"
 
 namespace {
 
 using namespace mpsim;
 
+// Self-rescheduling source with a fixed period — the minimal dispatch load.
 class NopSource : public EventSource {
  public:
-  explicit NopSource(EventList& events) : EventSource("nop"), events_(events) {}
-  void on_event() override { events_.schedule_in(*this, 1000); }
+  NopSource(EventList& events, SimTime period)
+      : EventSource("nop"), events_(events), period_(period) {}
+  void on_event() override { events_.schedule_in(*this, period_); }
 
  private:
   EventList& events_;
+  SimTime period_;
 };
 
-void BM_EventListDispatch(benchmark::State& state) {
-  EventList events;
+// `nsrc` sources with deterministically mixed periods (1 us .. ~20 ms),
+// modelling the spread a large simulation keeps in flight: queue drains and
+// pipe hops at microseconds, RTT-scale acks at milliseconds, RTO timers at
+// tens of milliseconds.
+std::vector<std::unique_ptr<NopSource>> make_dispatch_load(EventList& events,
+                                                           int nsrc) {
   std::vector<std::unique_ptr<NopSource>> sources;
-  for (int i = 0; i < 64; ++i) {
-    sources.push_back(std::make_unique<NopSource>(events));
+  Rng rng(12345);
+  for (int i = 0; i < nsrc; ++i) {
+    const SimTime period =
+        from_us(1) + static_cast<SimTime>(rng.next_double() * from_ms(20));
+    sources.push_back(std::make_unique<NopSource>(events, period));
     events.schedule_at(*sources.back(), i);
   }
+  return sources;
+}
+
+void BM_EventListDispatch(benchmark::State& state, SchedulerKind kind) {
+  EventList events(kind);
+  auto sources = make_dispatch_load(events, static_cast<int>(state.range(0)));
   for (auto _ : state) {
     events.run_one();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_EventListDispatch);
+BENCHMARK_CAPTURE(BM_EventListDispatch, heap, SchedulerKind::kHeap)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_EventListDispatch, wheel, SchedulerKind::kWheel)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(4096);
 
 void BM_QueuePipeForwarding(benchmark::State& state) {
   EventList events;
@@ -50,7 +86,7 @@ void BM_QueuePipeForwarding(benchmark::State& state) {
   net::CountingSink sink("s");
   net::Route route({&queue, &pipe, &sink});
   for (auto _ : state) {
-    net::Packet& pkt = net::Packet::alloc();
+    net::Packet& pkt = net::Packet::alloc(events);
     pkt.type = net::PacketType::kCbr;
     pkt.send_on(route);
     events.run_all();
@@ -89,10 +125,10 @@ void BM_LiaIncreaseBruteForce(benchmark::State& state) {
 }
 BENCHMARK(BM_LiaIncreaseBruteForce)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
-void BM_SmallTcpSimulation(benchmark::State& state) {
+void BM_SmallTcpSimulation(benchmark::State& state, SchedulerKind kind) {
   // One simulated second of a single TCP over a 10 Mb/s bottleneck.
   for (auto _ : state) {
-    EventList events;
+    EventList events(kind);
     topo::Network net(events);
     auto link = net.add_link("l", 10e6, from_ms(10),
                              topo::bdp_bytes(10e6, from_ms(20)));
@@ -104,6 +140,142 @@ void BM_SmallTcpSimulation(benchmark::State& state) {
     benchmark::DoNotOptimize(tcp->delivered_pkts());
   }
 }
-BENCHMARK(BM_SmallTcpSimulation)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SmallTcpSimulation, heap, SchedulerKind::kHeap)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SmallTcpSimulation, wheel, SchedulerKind::kWheel)
+    ->Unit(benchmark::kMillisecond);
+
+// --- JSON scheduler comparison ------------------------------------------
+
+// Run `total_events` dispatches of the mixed-period load; the runner's
+// metrics capture wall time and events/sec.
+runner::RunResult measure_dispatch(SchedulerKind kind, const char* label,
+                                   std::uint64_t total_events, int nsrc) {
+  runner::RunnerConfig cfg;
+  cfg.threads = 1;  // sequential: timing fidelity over parallelism here
+  cfg.scheduler = kind;
+  runner::ExperimentRunner r(cfg);
+  r.add(label, [total_events, nsrc](runner::RunContext& ctx) {
+    auto sources = make_dispatch_load(ctx.events(), nsrc);
+    for (std::uint64_t i = 0; i < total_events; ++i) {
+      ctx.events().run_one();
+    }
+  });
+  return r.run_all().front();
+}
+
+// Full TCP simulation over `sim_sec` simulated seconds under `kind`.
+runner::RunResult measure_tcp(SchedulerKind kind, const char* label,
+                              double sim_sec) {
+  runner::RunnerConfig cfg;
+  cfg.threads = 1;
+  cfg.scheduler = kind;
+  runner::ExperimentRunner r(cfg);
+  r.add(label, [sim_sec](runner::RunContext& ctx) {
+    EventList& events = ctx.events();
+    topo::Network net(events);
+    auto link = net.add_link("l", 10e6, from_ms(10),
+                             topo::bdp_bytes(10e6, from_ms(20)));
+    auto& ack = net.add_pipe("a", from_ms(10));
+    auto tcp = mptcp::make_single_path_tcp(
+        events, "t", topo::path_of({&link}), {&ack});
+    tcp->start(0);
+    events.run_until(from_sec(sim_sec));
+    ctx.record("delivered_pkts", static_cast<double>(tcp->delivered_pkts()));
+  });
+  return r.run_all().front();
+}
+
+bench::Json json_side(const runner::RunResult& r) {
+  bench::Json o = bench::Json::object();
+  o.set("events_processed",
+        static_cast<double>(r.metrics.events_processed));
+  o.set("wall_seconds", r.metrics.wall_seconds);
+  o.set("events_per_sec", r.metrics.events_per_sec);
+  return o;
+}
+
+void scheduler_comparison_json() {
+  const double scale = bench::time_scale();
+  const auto dispatch_events =
+      static_cast<std::uint64_t>(4'000'000 * scale);
+  // Pending-set size of a large datacenter sweep: a 1024-host FatTree at 8
+  // paths per flow keeps ~8k subflows' timers plus per-queue/pipe
+  // deliveries in flight — tens of thousands of pending events, where the
+  // heap's O(log n) comparisons and cache misses bite hardest.
+  const int nsrc = 32768;
+  const double tcp_sec = 20.0 * scale;
+
+  std::printf("\n--- scheduler comparison (heap vs timing wheel) ---\n");
+  // Interleaved best-of-N: scheduler cost is deterministic, so the fastest
+  // trial is the least-perturbed one; interleaving decorrelates the two
+  // sides from background machine noise.
+  constexpr int kTrials = 3;
+  auto best = [](const runner::RunResult& a, const runner::RunResult& b) {
+    return b.metrics.wall_seconds > 0 &&
+                   (a.metrics.wall_seconds <= 0 ||
+                    b.metrics.wall_seconds < a.metrics.wall_seconds)
+               ? b
+               : a;
+  };
+  runner::RunResult heap_d, wheel_d, heap_t, wheel_t;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    heap_d = best(heap_d, measure_dispatch(SchedulerKind::kHeap,
+                                           "dispatch:heap", dispatch_events,
+                                           nsrc));
+    wheel_d = best(wheel_d, measure_dispatch(SchedulerKind::kWheel,
+                                             "dispatch:wheel",
+                                             dispatch_events, nsrc));
+    heap_t = best(heap_t,
+                  measure_tcp(SchedulerKind::kHeap, "tcp:heap", tcp_sec));
+    wheel_t = best(wheel_t,
+                   measure_tcp(SchedulerKind::kWheel, "tcp:wheel", tcp_sec));
+  }
+
+  const double dispatch_speedup =
+      heap_d.metrics.events_per_sec > 0
+          ? wheel_d.metrics.events_per_sec / heap_d.metrics.events_per_sec
+          : 0.0;
+  const double tcp_speedup =
+      heap_t.metrics.events_per_sec > 0
+          ? wheel_t.metrics.events_per_sec / heap_t.metrics.events_per_sec
+          : 0.0;
+
+  std::printf("dispatch (%d sources): heap %.3g ev/s, wheel %.3g ev/s, "
+              "wheel speedup %.2fx\n",
+              nsrc, heap_d.metrics.events_per_sec,
+              wheel_d.metrics.events_per_sec, dispatch_speedup);
+  std::printf("tcp %.3gs sim: heap %.3g ev/s, wheel %.3g ev/s, "
+              "wheel speedup %.2fx\n",
+              tcp_sec, heap_t.metrics.events_per_sec,
+              wheel_t.metrics.events_per_sec, tcp_speedup);
+
+  bench::Json dispatch = bench::Json::object();
+  dispatch.set("sources", static_cast<double>(nsrc));
+  dispatch.set("heap", json_side(heap_d));
+  dispatch.set("wheel", json_side(wheel_d));
+  dispatch.set("wheel_speedup", dispatch_speedup);
+
+  bench::Json tcp = bench::Json::object();
+  tcp.set("sim_seconds", tcp_sec);
+  tcp.set("heap", json_side(heap_t));
+  tcp.set("wheel", json_side(wheel_t));
+  tcp.set("wheel_speedup", tcp_speedup);
+
+  bench::Json root = bench::Json::object();
+  root.set("bench", "micro_core");
+  root.set("dispatch", std::move(dispatch));
+  root.set("tcp_1flow", std::move(tcp));
+  bench::write_bench_json("micro_core", root);
+}
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  scheduler_comparison_json();
+  return 0;
+}

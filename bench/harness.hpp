@@ -14,7 +14,9 @@
 
 #include "cc/congestion_control.hpp"
 #include "core/event_list.hpp"
+#include "json_report.hpp"
 #include "mptcp/connection.hpp"
+#include "runner/experiment_runner.hpp"
 #include "stats/monitors.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
@@ -31,6 +33,25 @@ inline double time_scale() {
     if (v > 0.0) return v;
   }
   return 1.0;
+}
+
+// MPSIM_THREADS caps the ExperimentRunner thread pool for multi-run benches
+// (0 = hardware concurrency; 1 = fully sequential).
+inline unsigned env_threads() {
+  if (const char* s = std::getenv("MPSIM_THREADS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;
+}
+
+// MPSIM_SEEDS sets how many seeds a multi-seed bench sweeps.
+inline int env_seeds(int fallback) {
+  if (const char* s = std::getenv("MPSIM_SEEDS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return fallback;
 }
 
 inline SimTime scaled(double seconds) {
@@ -50,10 +71,16 @@ class GoodputMeter {
     for (const auto* c : conns_) base_.push_back(c->delivered_pkts());
   }
 
-  // Per-connection Mb/s since mark().
+  // Per-connection Mb/s since mark(). A zero-length measurement window
+  // (mark() at measurement end, or mark() never called after time advanced)
+  // yields 0.0 per connection rather than a NaN/inf rate.
   std::vector<double> mbps() const {
     std::vector<double> out;
     const SimTime elapsed = events_.now() - t0_;
+    if (elapsed <= 0) {
+      out.assign(conns_.size(), 0.0);
+      return out;
+    }
     for (std::size_t i = 0; i < conns_.size(); ++i) {
       out.push_back(stats::pkts_to_mbps(
           conns_[i]->delivered_pkts() - base_[i], elapsed));

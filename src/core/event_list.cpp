@@ -1,16 +1,52 @@
 #include "core/event_list.hpp"
 
 #include <cassert>
+#include <cstdlib>
+#include <string_view>
 
 namespace mpsim {
+
+SchedulerKind EventList::default_scheduler() {
+  static const SchedulerKind kind = [] {
+    if (const char* s = std::getenv("MPSIM_SCHEDULER")) {
+      if (std::string_view(s) == "heap") return SchedulerKind::kHeap;
+      if (std::string_view(s) == "wheel") return SchedulerKind::kWheel;
+    }
+    return SchedulerKind::kWheel;
+  }();
+  return kind;
+}
+
+EventList::EventList(SchedulerKind kind) {
+  if (kind == SchedulerKind::kAuto) kind = default_scheduler();
+  if (kind == SchedulerKind::kWheel) wheel_ = std::make_unique<TimingWheel>();
+}
+
+EventList::Service& EventList::attach_service(std::unique_ptr<Service> s) {
+  assert(!service_ && "simulation service already attached");
+  service_ = std::move(s);
+  return *service_;
+}
 
 void EventList::schedule_at(EventSource& src, SimTime t) {
   assert(t >= now_ && "cannot schedule in the past");
   if (t < now_) t = now_;  // degrade gracefully in release builds
-  heap_.push(Entry{t, next_seq_++, &src});
+  if (wheel_) {
+    wheel_->schedule(t, next_seq_++, &src);
+  } else {
+    heap_.push(Entry{t, next_seq_++, &src});
+  }
 }
 
 bool EventList::run_one() {
+  if (wheel_) {
+    if (wheel_->empty()) return false;
+    const TimingWheel::Entry e = wheel_->pop();
+    now_ = e.time;
+    ++processed_;
+    e.src->on_event();
+    return true;
+  }
   if (heap_.empty()) return false;
   Entry e = heap_.top();
   heap_.pop();
@@ -21,8 +57,17 @@ bool EventList::run_one() {
 }
 
 void EventList::run_until(SimTime t) {
-  while (!heap_.empty() && heap_.top().time <= t) {
-    run_one();
+  if (wheel_) {
+    TimingWheel::Entry e;
+    while (wheel_->pop_if_before(t, e)) {
+      now_ = e.time;
+      ++processed_;
+      e.src->on_event();
+    }
+  } else {
+    while (!heap_.empty() && heap_.top().time <= t) {
+      run_one();
+    }
   }
   if (now_ < t) now_ = t;
 }

@@ -5,17 +5,32 @@
 // on the EventList. Ties are broken by insertion order so runs are fully
 // deterministic.
 //
+// Two interchangeable backends implement the queue:
+//   * kWheel — hierarchical timing wheel (core/timing_wheel.hpp), amortized
+//     O(1) schedule/dispatch; the default.
+//   * kHeap  — binary heap, O(log n) per operation; kept as a cross-checked
+//     fallback (tests assert both dispatch identical event orders).
+// kAuto resolves from the MPSIM_SCHEDULER environment variable ("wheel" or
+// "heap"), defaulting to the wheel.
+//
 // Cancellation is lazy: a source that no longer wants a pending wake-up simply
 // ignores the callback (sources track their own next valid deadline). This
-// keeps the heap free of tombstone bookkeeping on the hot path.
+// keeps the queue free of tombstone bookkeeping on the hot path.
+//
+// An EventList is also the identity of one simulation instance: per-run
+// services (the packet pool, see net::PacketPool) attach to it instead of
+// living in globals, so independent simulations can run concurrently on
+// separate threads.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "core/time.hpp"
+#include "core/timing_wheel.hpp"
 
 namespace mpsim {
 
@@ -39,12 +54,25 @@ class EventSource {
   std::string name_;
 };
 
+enum class SchedulerKind {
+  kAuto,   // resolve from MPSIM_SCHEDULER, default kWheel
+  kHeap,   // binary heap (the original backend)
+  kWheel,  // hierarchical timing wheel
+};
+
 class EventList {
  public:
-  EventList() = default;
+  explicit EventList(SchedulerKind kind = SchedulerKind::kAuto);
 
   EventList(const EventList&) = delete;
   EventList& operator=(const EventList&) = delete;
+
+  // The backend this instance runs on (kHeap or kWheel, never kAuto).
+  SchedulerKind scheduler_kind() const {
+    return wheel_ ? SchedulerKind::kWheel : SchedulerKind::kHeap;
+  }
+  // What kAuto resolves to for new EventLists (reads MPSIM_SCHEDULER once).
+  static SchedulerKind default_scheduler();
 
   SimTime now() const { return now_; }
 
@@ -56,19 +84,32 @@ class EventList {
     schedule_at(src, now_ + dt);
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return wheel_ ? wheel_->empty() : heap_.empty(); }
+  std::size_t pending() const {
+    return wheel_ ? wheel_->size() : heap_.size();
+  }
   std::uint64_t events_processed() const { return processed_; }
 
   // Dispatch the earliest pending event. Returns false if none remain.
   bool run_one();
 
   // Run events with timestamp <= `t`; afterwards now() == t (even if the
-  // heap drained early), so periodic samplers see a consistent clock.
+  // queue drained early), so periodic samplers see a consistent clock.
   void run_until(SimTime t);
 
   // Run until no events remain.
   void run_all();
+
+  // --- per-simulation services ------------------------------------------
+  // A service is owned by the EventList and lives exactly as long as the
+  // simulation instance. The packet pool (net::PacketPool) is the sole
+  // service today; it attaches itself lazily on first allocation.
+  class Service {
+   public:
+    virtual ~Service() = default;
+  };
+  Service* service() const { return service_.get(); }
+  Service& attach_service(std::unique_ptr<Service> s);
 
  private:
   struct Entry {
@@ -82,6 +123,8 @@ class EventList {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unique_ptr<TimingWheel> wheel_;  // non-null iff the wheel backend
+  std::unique_ptr<Service> service_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

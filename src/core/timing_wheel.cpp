@@ -1,0 +1,192 @@
+#include "core/timing_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace mpsim {
+
+void TimingWheel::schedule(SimTime t, std::uint64_t seq, EventSource* src) {
+  assert(static_cast<std::uint64_t>(t) >= cur_ || size_ == 0);
+  insert(Entry{t, seq, src});
+  ++size_;
+}
+
+void TimingWheel::insert(const Entry& e) {
+  const auto t = static_cast<std::uint64_t>(e.time);
+  // The entry belongs on the lowest level whose epoch (the bits above the
+  // level's slot index) matches cur_'s — equivalently, the level containing
+  // the highest bit where t and cur_ differ.
+  const std::uint64_t diff = t ^ cur_;
+  const int hb = diff == 0 ? 0 : 63 - std::countl_zero(diff);
+  const int lv = hb / kSlotBits;
+  if (lv >= kLevels) {
+    overflow_.push(e);  // beyond the wheel horizon
+    return;
+  }
+  const int idx = static_cast<int>((t >> (kSlotBits * lv)) & (kSlots - 1));
+  Slot& s = levels_[static_cast<std::size_t>(lv)]
+                .slots[static_cast<std::size_t>(idx)];
+  // Sorted iff appending preserves ascending seq. Direct schedules always
+  // do (seq is globally increasing); cascaded entries may not.
+  s.sorted = s.entries.empty() || (s.sorted && e.seq > s.entries.back().seq);
+  s.entries.push_back(e);
+  mark(levels_[static_cast<std::size_t>(lv)], idx);
+  ++wheel_size_;
+}
+
+void TimingWheel::cascade(int lv, int idx) {
+  Level& level = levels_[static_cast<std::size_t>(lv)];
+  Slot& s = level.slots[static_cast<std::size_t>(idx)];
+  if (s.entries.size() == 1) {  // common in sparse simulations
+    const Entry e = s.entries.front();
+    s.entries.clear();
+    s.sorted = false;
+    unmark(level, idx);
+    --wheel_size_;
+    insert(e);
+    return;
+  }
+  // Copy into the reusable scratch buffer and clear() the slot so both keep
+  // their capacity: after the first lap of the wheel, cascading allocates
+  // nothing. (insert() never calls cascade, so scratch_ cannot be reentered.)
+  scratch_.assign(s.entries.begin(), s.entries.end());
+  s.entries.clear();
+  s.head = 0;
+  s.sorted = false;
+  unmark(level, idx);
+  wheel_size_ -= scratch_.size();
+  for (const Entry& e : scratch_) insert(e);
+}
+
+int TimingWheel::find_slot(const Level& lv, int from) const {
+  if (from >= kSlots) return -1;
+  int w = from >> 6;
+  const std::uint64_t word =
+      lv.bitmap[static_cast<std::size_t>(w)] & (~0ull << (from & 63));
+  if (word != 0) return (w << 6) + std::countr_zero(word);
+  // Jump straight to the next non-empty bitmap word via the summary.
+  if (++w == kBitmapWords) return -1;
+  const std::uint32_t rest =
+      lv.summary & (~0u << w);  // w in [1, 31]: shift is well-defined
+  if (rest == 0) return -1;
+  w = std::countr_zero(rest);
+  return (w << 6) + std::countr_zero(lv.bitmap[static_cast<std::size_t>(w)]);
+}
+
+SimTime TimingWheel::next_time() const {
+  if (size_ == 0) return kNever;
+  // Level 0: the slot index is the exact tick within the current epoch.
+  const int idx =
+      find_slot(levels_[0], static_cast<int>(cur_ & (kSlots - 1)));
+  if (idx >= 0) {
+    return static_cast<SimTime>(
+        (cur_ & ~static_cast<std::uint64_t>(kSlots - 1)) |
+        static_cast<std::uint64_t>(idx));
+  }
+  // Every entry at level l sorts strictly before every entry at level l+1
+  // (they share the level-(l+1) epoch with cur_; higher levels do not), so
+  // the first occupied level holds the minimum. Its slot spans many ticks;
+  // scan it for the earliest entry.
+  for (int lv = 1; lv < kLevels; ++lv) {
+    const int il =
+        static_cast<int>((cur_ >> (kSlotBits * lv)) & (kSlots - 1));
+    const int j = find_slot(levels_[static_cast<std::size_t>(lv)], il + 1);
+    if (j < 0) continue;
+    const Slot& s = levels_[static_cast<std::size_t>(lv)]
+                        .slots[static_cast<std::size_t>(j)];
+    SimTime best = kNever;
+    for (const Entry& e : s.entries) best = std::min(best, e.time);
+    return best;
+  }
+  return overflow_.top().time;
+}
+
+TimingWheel::Entry TimingWheel::pop() {
+  assert(size_ > 0);
+  Entry e;
+  const bool ok = pop_if_before(kNever, e);
+  assert(ok);
+  (void)ok;
+  return e;
+}
+
+bool TimingWheel::pop_if_before(SimTime limit, Entry& out) {
+  if (size_ == 0) return false;
+  const auto lim = static_cast<std::uint64_t>(limit);
+  for (;;) {
+    const int idx =
+        find_slot(levels_[0], static_cast<int>(cur_ & (kSlots - 1)));
+    if (idx >= 0) {
+      const std::uint64_t tick =
+          (cur_ & ~static_cast<std::uint64_t>(kSlots - 1)) |
+          static_cast<std::uint64_t>(idx);
+      if (tick > lim) return false;
+      Level& l0 = levels_[0];
+      Slot& s = l0.slots[static_cast<std::size_t>(idx)];
+      if (!s.sorted) {
+        assert(s.head == 0);
+        if (s.entries.size() > 1) {
+          std::sort(s.entries.begin(), s.entries.end(),
+                    [](const Entry& a, const Entry& b) {
+                      return a.seq < b.seq;
+                    });
+        }
+        s.sorted = true;
+      }
+      out = s.entries[s.head++];
+      cur_ = tick;
+      if (s.head == s.entries.size()) {
+        s.entries.clear();
+        s.head = 0;
+        s.sorted = false;
+        unmark(l0, idx);
+      }
+      --wheel_size_;
+      --size_;
+      return true;
+    }
+    if (wheel_size_ > 0) {
+      // Advance into the next occupied slot of the lowest occupied level
+      // and cascade it down; the loop then rescans level 0. Every entry in
+      // that slot (and, by the level-ordering invariant, every pending
+      // wheel entry) has time >= the slot's base tick, so if the base is
+      // past the limit there is nothing to pop and — crucially — cur_ has
+      // not moved past `limit` either.
+      bool advanced = false;
+      for (int lv = 1; lv < kLevels; ++lv) {
+        const int il =
+            static_cast<int>((cur_ >> (kSlotBits * lv)) & (kSlots - 1));
+        const int j =
+            find_slot(levels_[static_cast<std::size_t>(lv)], il + 1);
+        if (j < 0) continue;
+        const std::uint64_t epoch_mask =
+            ~((1ull << (kSlotBits * (lv + 1))) - 1);
+        const std::uint64_t slot_base =
+            (cur_ & epoch_mask) |
+            (static_cast<std::uint64_t>(j) << (kSlotBits * lv));
+        if (slot_base > lim) return false;
+        cur_ = slot_base;
+        cascade(lv, j);
+        advanced = true;
+        break;
+      }
+      assert(advanced);
+      (void)advanced;
+      continue;
+    }
+    // Wheel drained: rebase onto the overflow heap's next epoch and pull in
+    // every far-future event that now fits under the horizon.
+    assert(!overflow_.empty());
+    if (static_cast<std::uint64_t>(overflow_.top().time) > lim) return false;
+    cur_ = static_cast<std::uint64_t>(overflow_.top().time);
+    while (!overflow_.empty() &&
+           (static_cast<std::uint64_t>(overflow_.top().time) >>
+            kHorizonBits) == (cur_ >> kHorizonBits)) {
+      insert(overflow_.top());
+      overflow_.pop();
+    }
+  }
+}
+
+}  // namespace mpsim

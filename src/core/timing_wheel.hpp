@@ -1,0 +1,126 @@
+// Hierarchical timing wheel (calendar queue) — the EventList's fast
+// scheduler backend.
+//
+// Three levels of 2048 slots each cover a ~8.6 s (2^33 ns) horizon above
+// the wheel's current position; events beyond the horizon wait in a small
+// overflow heap and are pulled in when the wheel advances into their epoch.
+// schedule() and pop() are amortized O(1): an event is appended to exactly
+// one slot per level it cascades through (at most kLevels times over its
+// lifetime), and finding the next occupied slot is a bitmap scan.
+//
+// Determinism contract (identical to the binary-heap backend): events
+// dispatch in (time, seq) order, where seq is the EventList's global
+// schedule counter — i.e. FIFO among equal timestamps. Cascading can land
+// entries in a level-0 slot out of seq order, so a slot is sorted by seq
+// once, lazily, when dispatch first reaches it; appends after that point
+// (new events scheduled for the tick being dispatched) always carry the
+// globally largest seq and keep the slot sorted.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace mpsim {
+
+class EventSource;
+
+class TimingWheel {
+ public:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    EventSource* src;
+  };
+
+  TimingWheel() = default;
+
+  TimingWheel(const TimingWheel&) = delete;
+  TimingWheel& operator=(const TimingWheel&) = delete;
+
+  // Insert an event. `t` must be >= the time of the last popped entry and
+  // `seq` must exceed every previously scheduled seq.
+  void schedule(SimTime t, std::uint64_t seq, EventSource* src);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  // Earliest pending event time, or kNever if empty. Does not move the
+  // wheel (no cascades), so a caller may peek, decide the event lies
+  // beyond its run horizon, and still schedule earlier events afterwards.
+  SimTime next_time() const;
+
+  // Remove and return the earliest entry (FIFO among equal timestamps).
+  // Pre: !empty().
+  Entry pop();
+
+  // Pop the earliest entry into `out` iff its time is <= limit; returns
+  // false (and pops nothing) otherwise. One scan instead of a
+  // next_time()/pop() pair — the run_until() hot path. The wheel never
+  // advances past `limit`, so callers may keep scheduling any t >= limit
+  // afterwards.
+  bool pop_if_before(SimTime limit, Entry& out);
+
+ private:
+  // 2^11-slot levels keep sub-2-us timers (pipe hops, queue drains) on
+  // level 0 — inserted and popped with zero cascades — while three levels
+  // still cover a 2^33 ns (~8.6 s) horizon.
+  static constexpr int kSlotBits = 11;
+  static constexpr int kSlots = 1 << kSlotBits;  // 2048
+  static constexpr int kLevels = 3;
+  static constexpr int kHorizonBits = kSlotBits * kLevels;
+  static constexpr int kBitmapWords = kSlots / 64;
+
+  struct Slot {
+    std::vector<Entry> entries;
+    std::uint32_t head = 0;  // dispatched prefix (level 0 only)
+    bool sorted = false;     // entries[head..] ascending by seq
+  };
+
+  struct Level {
+    std::array<Slot, kSlots> slots;
+    std::array<std::uint64_t, kBitmapWords> bitmap{};
+    // Bit w set iff bitmap[w] != 0 — makes find_slot O(1) instead of a
+    // linear scan over the bitmap words.
+    std::uint32_t summary = 0;
+  };
+  static_assert(kBitmapWords <= 32, "summary bitmap is a uint32");
+
+  // Place an entry into the wheel or the overflow heap. Maintains
+  // wheel_size_ but not size_ (so cascades can reuse it).
+  void insert(const Entry& e);
+  // Move every entry of levels_[lv].slots[idx] down into lower levels.
+  void cascade(int lv, int idx);
+  // First occupied slot index >= from at `lv`, or -1.
+  int find_slot(const Level& lv, int from) const;
+
+  void mark(Level& lv, int idx) {
+    lv.bitmap[static_cast<std::size_t>(idx >> 6)] |= 1ull << (idx & 63);
+    lv.summary |= 1u << (idx >> 6);
+  }
+  void unmark(Level& lv, int idx) {
+    std::uint64_t& word = lv.bitmap[static_cast<std::size_t>(idx >> 6)];
+    word &= ~(1ull << (idx & 63));
+    if (word == 0) lv.summary &= ~(1u << (idx >> 6));
+  }
+
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::array<Level, kLevels> levels_;
+  std::vector<Entry> scratch_;  // cascade() staging; reused, never nested
+  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> overflow_;
+  std::uint64_t cur_ = 0;        // tick of the last popped entry
+  std::size_t wheel_size_ = 0;   // entries resident in the wheel levels
+  std::size_t size_ = 0;         // wheel + overflow
+};
+
+}  // namespace mpsim

@@ -118,7 +118,7 @@ void MptcpReceiver::send_ack(const net::Packet& data_pkt) {
 void MptcpReceiver::emit_ack(std::uint32_t subflow_id, SimTime ts_echo,
                              bool is_retx, bool window_update) {
   SubflowRx& sub = subflows_[subflow_id];
-  net::Packet& ack = net::Packet::alloc();
+  net::Packet& ack = net::Packet::alloc(events_);
   ack.type = net::PacketType::kAck;
   ack.flow_id = flow_id_;
   ack.subflow_id = subflow_id;

@@ -36,7 +36,7 @@ void OnOffCbrSource::on_event() {
     events_.schedule_at(*this, now + off);
     return;
   }
-  Packet& pkt = Packet::alloc();
+  Packet& pkt = Packet::alloc(events_);
   pkt.type = PacketType::kCbr;
   pkt.size_bytes = kDataPacketBytes;
   ++packets_sent_;

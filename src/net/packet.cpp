@@ -1,50 +1,44 @@
 #include "net/packet.hpp"
 
 #include <cassert>
-#include <memory>
-#include <vector>
 
 namespace mpsim::net {
 
-namespace {
-
-// Global free-list pool. Single-threaded simulator, so no locking. Packets
-// are recycled rather than freed; peak usage is bounded by total in-flight
-// packets across all queues and pipes.
-class PacketPool {
- public:
-  Packet& alloc() {
-    if (free_.empty()) {
-      storage_.push_back(std::unique_ptr<Packet>(new Packet()));
-      ++outstanding_;
-      return *storage_.back();
-    }
-    Packet* p = free_.back();
+Packet& PacketPool::alloc() {
+  Packet* p;
+  if (free_.empty()) {
+    storage_.push_back(std::unique_ptr<Packet>(new Packet()));
+    p = storage_.back().get();
+    p->pool_ = this;
+  } else {
+    p = free_.back();
     free_.pop_back();
-    ++outstanding_;
-    return *p;
   }
+  ++outstanding_;
+  if (outstanding_ > peak_) peak_ = outstanding_;
+  return *p;
+}
 
-  void release(Packet* p) {
-    assert(outstanding_ > 0);
-    --outstanding_;
-    free_.push_back(p);
+void PacketPool::release(Packet& p) {
+  assert(p.pool_ == this);
+  assert(outstanding_ > 0);
+  --outstanding_;
+  free_.push_back(&p);
+}
+
+PacketPool& PacketPool::of(EventList& events) {
+  // The pool is the only service type ever attached to an EventList, so the
+  // downcast is safe by construction.
+  if (EventList::Service* s = events.service()) {
+    return *static_cast<PacketPool*>(s);
   }
+  return static_cast<PacketPool&>(
+      events.attach_service(std::make_unique<PacketPool>()));
+}
 
-  std::size_t outstanding() const { return outstanding_; }
-
-  static PacketPool& instance() {
-    static PacketPool pool;
-    return pool;
-  }
-
- private:
-  std::vector<std::unique_ptr<Packet>> storage_;
-  std::vector<Packet*> free_;
-  std::size_t outstanding_ = 0;
-};
-
-}  // namespace
+PacketPool* PacketPool::find(const EventList& events) {
+  return static_cast<PacketPool*>(events.service());
+}
 
 void Packet::reset() {
   type = PacketType::kData;
@@ -63,16 +57,20 @@ void Packet::reset() {
   next_hop_ = 0;
 }
 
-Packet& Packet::alloc() {
-  Packet& p = PacketPool::instance().alloc();
+Packet& Packet::alloc(EventList& events) {
+  Packet& p = PacketPool::of(events).alloc();
   p.reset();
   return p;
 }
 
-void Packet::release() { PacketPool::instance().release(this); }
+void Packet::release() {
+  assert(pool_ != nullptr && "packet was not pool-allocated");
+  pool_->release(*this);
+}
 
-std::size_t Packet::pool_outstanding() {
-  return PacketPool::instance().outstanding();
+std::size_t Packet::pool_outstanding(const EventList& events) {
+  const PacketPool* pool = PacketPool::find(events);
+  return pool ? pool->outstanding() : 0;
 }
 
 void Packet::send_on(const Route& route) {

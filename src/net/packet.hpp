@@ -1,4 +1,4 @@
-// Packets, routes and the sink interface.
+// Packets, routes, the sink interface, and the per-simulation packet pool.
 //
 // A Packet travels along a Route: an ordered list of PacketSinks (queues,
 // pipes, loss elements) terminated by an endpoint (a TCP receiver, a TCP
@@ -6,20 +6,28 @@
 // simulations push tens of millions of packets, so per-packet heap churn
 // would dominate the profile.
 //
+// The pool is instance-scoped: each EventList (one simulation) owns its own
+// PacketPool, attached lazily as the EventList's service. There is no global
+// mutable state in the data path, so fully independent simulations can run
+// concurrently on separate threads (see runner::ExperimentRunner).
+//
 // Sequence numbers are counted in packets (one MSS of payload each), matching
 // the paper, which states all windows in packets. Byte sizes are carried
 // separately for queue occupancy and serialization-time computation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/event_list.hpp"
 #include "core/time.hpp"
 
 namespace mpsim::net {
 
 class Packet;
+class PacketPool;
 
 // Anything a packet can be delivered to.
 class PacketSink {
@@ -93,18 +101,53 @@ class Packet {
   const Route* route() const { return route_; }
 
   // Pool management ------------------------------------------------------
-  static Packet& alloc();    // fetch a zeroed packet from the pool
-  void release();            // return this packet to the pool
-  static std::size_t pool_outstanding();  // live packets (leak detector)
+  // Fetch a zeroed packet from the pool owned by `events`' simulation.
+  static Packet& alloc(EventList& events);
+  // Return this packet to the pool that allocated it.
+  void release();
+  // Live packets of `events`' pool (leak detector); 0 if no pool attached.
+  static std::size_t pool_outstanding(const EventList& events);
 
   // Construct via alloc(); direct construction is reserved for the pool.
   Packet() = default;
 
  private:
+  friend class PacketPool;
+
   void reset();
 
   const Route* route_ = nullptr;
   std::uint32_t next_hop_ = 0;
+  PacketPool* pool_ = nullptr;  // owning pool, set once at first alloc
+};
+
+// Free-list pool of one simulation instance. Owned by the EventList as its
+// attached service and created lazily by Packet::alloc(). Single-threaded
+// within one simulation, so no locking; separate simulations get separate
+// pools. Packets are recycled rather than freed; peak usage is bounded by
+// total in-flight packets across all queues and pipes.
+class PacketPool final : public EventList::Service {
+ public:
+  PacketPool() = default;
+  ~PacketPool() override = default;
+
+  Packet& alloc();
+  void release(Packet& p);
+
+  std::size_t outstanding() const { return outstanding_; }
+  std::size_t peak_outstanding() const { return peak_; }
+  std::size_t capacity() const { return storage_.size(); }
+
+  // The pool of `events`' simulation, attached lazily on first use.
+  static PacketPool& of(EventList& events);
+  // Like of(), but nullptr when no pool has been attached yet.
+  static PacketPool* find(const EventList& events);
+
+ private:
+  std::vector<std::unique_ptr<Packet>> storage_;
+  std::vector<Packet*> free_;
+  std::size_t outstanding_ = 0;
+  std::size_t peak_ = 0;
 };
 
 }  // namespace mpsim::net

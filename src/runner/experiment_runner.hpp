@@ -1,0 +1,111 @@
+// Parallel multi-experiment runner.
+//
+// An ExperimentRunner executes N fully independent simulations (seed sweeps,
+// parameter grids, algorithm comparisons) across a work-stealing thread
+// pool. Each job gets its own RunContext owning a private EventList — and
+// therefore a private packet pool and clock — so runs are exactly as
+// deterministic in parallel as they are sequentially: the result set is
+// byte-identical whatever the thread count or steal order (tests assert
+// this). Per-run wall-clock, events/second and peak-pool counters are
+// captured into a structured RunResult for harness reporting.
+//
+// Jobs must not share mutable state with each other; anything a job returns
+// goes through RunContext::record() (scalars) or captured per-job output
+// slots written only by that job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/event_list.hpp"
+
+namespace mpsim::runner {
+
+// Measured cost of one run, filled in by the runner.
+struct RunMetrics {
+  double wall_seconds = 0.0;
+  std::uint64_t events_processed = 0;
+  double events_per_sec = 0.0;
+  std::size_t peak_pool_packets = 0;  // high-water mark of the run's pool
+};
+
+// Handed to each job: the simulation instance plus a keyed scalar recorder.
+class RunContext {
+ public:
+  RunContext(std::string name, SchedulerKind scheduler)
+      : name_(std::move(name)), events_(scheduler) {}
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  const std::string& name() const { return name_; }
+  EventList& events() { return events_; }
+
+  // Record a named statistic (kept in insertion order).
+  void record(std::string key, double value) {
+    values_.emplace_back(std::move(key), value);
+  }
+  const std::vector<std::pair<std::string, double>>& values() const {
+    return values_;
+  }
+
+ private:
+  std::string name_;
+  EventList events_;
+  std::vector<std::pair<std::string, double>> values_;
+};
+
+struct RunResult {
+  std::string name;
+  RunMetrics metrics;
+  std::vector<std::pair<std::string, double>> values;
+
+  double value(const std::string& key, double fallback = 0.0) const {
+    for (const auto& [k, v] : values) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+struct RunnerConfig {
+  unsigned threads = 0;  // 0 => hardware concurrency; 1 => run on the caller
+  SchedulerKind scheduler = SchedulerKind::kAuto;  // for every job's EventList
+};
+
+class ExperimentRunner {
+ public:
+  using Job = std::function<void(RunContext&)>;
+
+  explicit ExperimentRunner(RunnerConfig cfg = {}) : cfg_(cfg) {}
+
+  // Enqueue a named experiment. Jobs run in any order across threads, but
+  // run_all() returns results in submission order.
+  void add(std::string name, Job job) {
+    jobs_.emplace_back(std::move(name), std::move(job));
+  }
+
+  std::size_t job_count() const { return jobs_.size(); }
+
+  // Execute every job and return one RunResult per job, submission-ordered.
+  // With threads == 1 everything runs inline on the calling thread.
+  std::vector<RunResult> run_all();
+
+  // The thread count run_all() will actually use.
+  unsigned resolved_threads() const;
+
+  static unsigned hardware_threads();
+
+ private:
+  RunnerConfig cfg_;
+  std::vector<std::pair<std::string, Job>> jobs_;
+};
+
+// Aggregates over a result set.
+double total_wall_seconds(const std::vector<RunResult>& results);
+std::uint64_t total_events(const std::vector<RunResult>& results);
+
+}  // namespace mpsim::runner

@@ -60,7 +60,7 @@ void Subflow::try_send() {
 void Subflow::send_packet(std::uint64_t subflow_seq, bool is_retransmit) {
   assert(subflow_seq >= scoreboard_base_ &&
          subflow_seq - scoreboard_base_ < scoreboard_.size());
-  net::Packet& pkt = net::Packet::alloc();
+  net::Packet& pkt = net::Packet::alloc(events_);
   pkt.type = net::PacketType::kData;
   pkt.flow_id = flow_id_;
   pkt.subflow_id = subflow_id_;

@@ -19,14 +19,29 @@ class Recorder : public EventSource {
   EventList& events_;
 };
 
-TEST(EventList, StartsAtTimeZero) {
+// Every EventList behaviour must hold identically under both scheduler
+// backends, so the suite is parameterized over SchedulerKind.
+class EventListTest : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  EventListTest() : events(GetParam()) {}
   EventList events;
+};
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, EventListTest,
+                         ::testing::Values(SchedulerKind::kHeap,
+                                           SchedulerKind::kWheel),
+                         [](const auto& info) {
+                           return info.param == SchedulerKind::kHeap
+                                      ? "Heap"
+                                      : "Wheel";
+                         });
+
+TEST_P(EventListTest, StartsAtTimeZero) {
   EXPECT_EQ(events.now(), 0);
   EXPECT_TRUE(events.empty());
 }
 
-TEST(EventList, RunOneAdvancesClockToEventTime) {
-  EventList events;
+TEST_P(EventListTest, RunOneAdvancesClockToEventTime) {
   Recorder r(events);
   events.schedule_at(r, from_ms(5));
   EXPECT_TRUE(events.run_one());
@@ -35,13 +50,11 @@ TEST(EventList, RunOneAdvancesClockToEventTime) {
   EXPECT_EQ(r.fired[0], from_ms(5));
 }
 
-TEST(EventList, RunOneOnEmptyReturnsFalse) {
-  EventList events;
+TEST_P(EventListTest, RunOneOnEmptyReturnsFalse) {
   EXPECT_FALSE(events.run_one());
 }
 
-TEST(EventList, EventsFireInTimeOrder) {
-  EventList events;
+TEST_P(EventListTest, EventsFireInTimeOrder) {
   Recorder r(events);
   events.schedule_at(r, from_ms(30));
   events.schedule_at(r, from_ms(10));
@@ -53,10 +66,8 @@ TEST(EventList, EventsFireInTimeOrder) {
   EXPECT_EQ(r.fired[2], from_ms(30));
 }
 
-TEST(EventList, TiesBreakInInsertionOrder) {
-  EventList events;
+TEST_P(EventListTest, TiesBreakInInsertionOrder) {
   Recorder a(events, "a"), b(events, "b"), c(events, "c");
-  std::vector<const EventSource*> order;
   // Wrap via three recorders and check FIFO by name after the run.
   events.schedule_at(b, from_ms(1));
   events.schedule_at(a, from_ms(1));
@@ -70,8 +81,7 @@ TEST(EventList, TiesBreakInInsertionOrder) {
   EXPECT_EQ(c.fired.size(), 1u);
 }
 
-TEST(EventList, ScheduleInIsRelativeToNow) {
-  EventList events;
+TEST_P(EventListTest, ScheduleInIsRelativeToNow) {
   Recorder r(events);
   events.schedule_at(r, from_ms(10));
   events.run_one();
@@ -81,8 +91,7 @@ TEST(EventList, ScheduleInIsRelativeToNow) {
   EXPECT_EQ(r.fired[1], from_ms(15));
 }
 
-TEST(EventList, RunUntilStopsAtBoundaryInclusive) {
-  EventList events;
+TEST_P(EventListTest, RunUntilStopsAtBoundaryInclusive) {
   Recorder r(events);
   events.schedule_at(r, from_ms(10));
   events.schedule_at(r, from_ms(20));
@@ -93,14 +102,23 @@ TEST(EventList, RunUntilStopsAtBoundaryInclusive) {
   EXPECT_EQ(events.pending(), 1u);
 }
 
-TEST(EventList, RunUntilAdvancesClockEvenWhenIdle) {
-  EventList events;
+TEST_P(EventListTest, RunUntilAdvancesClockEvenWhenIdle) {
   events.run_until(from_sec(3));
   EXPECT_EQ(events.now(), from_sec(3));
 }
 
-TEST(EventList, EventScheduledDuringDispatchRuns) {
-  EventList events;
+TEST_P(EventListTest, ScheduleAfterIdleRunUntil) {
+  // run_until past all events must leave the scheduler able to accept an
+  // event earlier than any slot it may have internally advanced to.
+  Recorder r(events);
+  events.run_until(from_sec(3));
+  events.schedule_at(r, from_sec(3) + 1);
+  events.run_all();
+  ASSERT_EQ(r.fired.size(), 1u);
+  EXPECT_EQ(r.fired[0], from_sec(3) + 1);
+}
+
+TEST_P(EventListTest, EventScheduledDuringDispatchRuns) {
   struct Chain : EventSource {
     Chain(EventList& e) : EventSource("chain"), events(e) {}
     void on_event() override {
@@ -116,22 +134,42 @@ TEST(EventList, EventScheduledDuringDispatchRuns) {
   EXPECT_EQ(events.now(), from_ms(5));
 }
 
-TEST(EventList, ProcessedCounterCounts) {
-  EventList events;
+TEST_P(EventListTest, ProcessedCounterCounts) {
   Recorder r(events);
   for (int i = 1; i <= 7; ++i) events.schedule_at(r, from_ms(i));
   events.run_all();
   EXPECT_EQ(events.events_processed(), 7u);
 }
 
-TEST(EventList, SameSourceMultiplePendingEvents) {
-  EventList events;
+TEST_P(EventListTest, SameSourceMultiplePendingEvents) {
   Recorder r(events);
   events.schedule_at(r, from_ms(1));
   events.schedule_at(r, from_ms(1));
   events.schedule_at(r, from_ms(2));
   events.run_all();
   EXPECT_EQ(r.fired.size(), 3u);
+}
+
+TEST_P(EventListTest, FarFutureEventsFire) {
+  // Beyond the wheel horizon (~8.6 s): must land in the overflow path and
+  // still fire in order.
+  Recorder r(events);
+  events.schedule_at(r, from_sec(100));
+  events.schedule_at(r, from_sec(10));
+  events.schedule_at(r, from_ms(1));
+  events.run_all();
+  ASSERT_EQ(r.fired.size(), 3u);
+  EXPECT_EQ(r.fired[0], from_ms(1));
+  EXPECT_EQ(r.fired[1], from_sec(10));
+  EXPECT_EQ(r.fired[2], from_sec(100));
+  EXPECT_EQ(events.now(), from_sec(100));
+}
+
+TEST(EventList, SchedulerKindIsReported) {
+  EventList heap(SchedulerKind::kHeap);
+  EventList wheel(SchedulerKind::kWheel);
+  EXPECT_EQ(heap.scheduler_kind(), SchedulerKind::kHeap);
+  EXPECT_EQ(wheel.scheduler_kind(), SchedulerKind::kWheel);
 }
 
 TEST(TimeConversions, RoundTrip) {

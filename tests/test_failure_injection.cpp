@@ -133,9 +133,9 @@ TEST(FailureInjection, DeadFromBirthSubflowDoesNotPoisonConnection) {
 }
 
 TEST(FailureInjection, PacketPoolBalancedAfterChaos) {
-  const std::size_t base = net::Packet::pool_outstanding();
+  EventList events;
+  const std::size_t base = net::Packet::pool_outstanding(events);
   {
-    EventList events;
     topo::Network net(events);
     VarLink l1(net, "l1", 10e6, from_ms(10), 20 * net::kDataPacketBytes);
     auto& lossy = net.add_lossy("loss", 0.05, 5);
@@ -155,7 +155,7 @@ TEST(FailureInjection, PacketPoolBalancedAfterChaos) {
     EXPECT_TRUE(mp.complete());
     events.run_all();  // drain every in-flight packet and timer
   }
-  EXPECT_EQ(net::Packet::pool_outstanding(), base)
+  EXPECT_EQ(net::Packet::pool_outstanding(events), base)
       << "every allocated packet must return to the pool";
 }
 

@@ -122,7 +122,7 @@ TEST(FlowControl, WindowUpdateIsNotCountedAsDupack) {
   const auto retx_before = tcp->subflow(0).retransmits();
 
   auto inject = [&](bool window_update) {
-    net::Packet& ack = net::Packet::alloc();
+    net::Packet& ack = net::Packet::alloc(events);
     ack.type = net::PacketType::kAck;
     ack.flow_id = tcp->flow_id();
     ack.subflow_id = 0;

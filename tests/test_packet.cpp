@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "core/event_list.hpp"
 
 namespace mpsim::net {
 namespace {
@@ -30,12 +33,13 @@ class RecordingSink : public PacketSink {
 };
 
 TEST(Packet, AllocReturnsCleanPacket) {
-  Packet& p = Packet::alloc();
+  EventList events;
+  Packet& p = Packet::alloc(events);
   p.flow_id = 99;
   p.data_seq = 1234;
   p.is_retransmit = true;
   p.release();
-  Packet& q = Packet::alloc();  // pool recycles; must be reset
+  Packet& q = Packet::alloc(events);  // pool recycles; must be reset
   EXPECT_EQ(q.flow_id, 0u);
   EXPECT_EQ(q.data_seq, 0u);
   EXPECT_FALSE(q.is_retransmit);
@@ -44,19 +48,21 @@ TEST(Packet, AllocReturnsCleanPacket) {
 }
 
 TEST(Packet, PoolTracksOutstanding) {
-  const std::size_t base = Packet::pool_outstanding();
-  Packet& a = Packet::alloc();
-  Packet& b = Packet::alloc();
-  EXPECT_EQ(Packet::pool_outstanding(), base + 2);
+  EventList events;
+  const std::size_t base = Packet::pool_outstanding(events);
+  Packet& a = Packet::alloc(events);
+  Packet& b = Packet::alloc(events);
+  EXPECT_EQ(Packet::pool_outstanding(events), base + 2);
   a.release();
   b.release();
-  EXPECT_EQ(Packet::pool_outstanding(), base);
+  EXPECT_EQ(Packet::pool_outstanding(events), base);
 }
 
 TEST(Packet, SendOnTraversesAllHops) {
+  EventList events;
   RecordingSink s1("s1"), s2("s2"), s3("s3", /*terminal=*/true);
   Route route({&s1, &s2, &s3});
-  Packet& p = Packet::alloc();
+  Packet& p = Packet::alloc(events);
   p.send_on(route);
   EXPECT_EQ(s1.arrivals, 1);
   EXPECT_EQ(s2.arrivals, 1);
@@ -64,9 +70,10 @@ TEST(Packet, SendOnTraversesAllHops) {
 }
 
 TEST(Packet, RouteAccessorDuringTraversal) {
+  EventList events;
   RecordingSink terminal("t", true);
   Route route({&terminal});
-  Packet& p = Packet::alloc();
+  Packet& p = Packet::alloc(events);
   p.send_on(route);
   // Packet is released by the terminal; the route object is untouched.
   EXPECT_EQ(route.size(), 1u);
@@ -98,14 +105,77 @@ TEST(Packet, SizesMatchConventions) {
 }
 
 TEST(Packet, ManyAllocReleaseCyclesStayBalanced) {
-  const std::size_t base = Packet::pool_outstanding();
+  EventList events;
+  const std::size_t base = Packet::pool_outstanding(events);
   std::vector<Packet*> live;
   for (int round = 0; round < 10; ++round) {
-    for (int i = 0; i < 100; ++i) live.push_back(&Packet::alloc());
+    for (int i = 0; i < 100; ++i) live.push_back(&Packet::alloc(events));
     for (Packet* p : live) p->release();
     live.clear();
   }
-  EXPECT_EQ(Packet::pool_outstanding(), base);
+  EXPECT_EQ(Packet::pool_outstanding(events), base);
+}
+
+// Each EventList owns its own pool: allocations against one simulation
+// context never show up in another's accounting, and a packet releases
+// back to the pool it came from even if another pool allocated since.
+TEST(PacketPool, InstancesAreIndependent) {
+  EventList a;
+  EventList b;
+  Packet& pa = Packet::alloc(a);
+  EXPECT_EQ(Packet::pool_outstanding(a), 1u);
+  EXPECT_EQ(Packet::pool_outstanding(b), 0u);
+  Packet& pb1 = Packet::alloc(b);
+  Packet& pb2 = Packet::alloc(b);
+  EXPECT_EQ(Packet::pool_outstanding(a), 1u);
+  EXPECT_EQ(Packet::pool_outstanding(b), 2u);
+  pa.release();  // releases into a's pool, not b's
+  EXPECT_EQ(Packet::pool_outstanding(a), 0u);
+  EXPECT_EQ(Packet::pool_outstanding(b), 2u);
+  pb1.release();
+  pb2.release();
+  EXPECT_EQ(Packet::pool_outstanding(b), 0u);
+}
+
+TEST(PacketPool, PeakOutstandingHighWaterMark) {
+  EventList events;
+  PacketPool& pool = PacketPool::of(events);
+  std::vector<Packet*> live;
+  for (int i = 0; i < 7; ++i) live.push_back(&pool.alloc());
+  for (Packet* p : live) p->release();
+  live.clear();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.peak_outstanding(), 7u);
+  // A smaller burst does not move the high-water mark.
+  for (int i = 0; i < 3; ++i) live.push_back(&pool.alloc());
+  for (Packet* p : live) p->release();
+  EXPECT_EQ(pool.peak_outstanding(), 7u);
+}
+
+// Satellite (d): two simulations allocating concurrently on separate
+// threads. Pools are per-EventList, so there is no shared mutable state;
+// each thread's accounting must balance independently.
+TEST(PacketPool, ConcurrentSimulationsDoNotInterfere) {
+  auto churn = [](std::size_t* peak_out) {
+    EventList events;
+    std::vector<Packet*> live;
+    for (int round = 0; round < 200; ++round) {
+      for (int i = 0; i < 64; ++i) live.push_back(&Packet::alloc(events));
+      ASSERT_EQ(Packet::pool_outstanding(events), 64u);
+      for (Packet* p : live) p->release();
+      live.clear();
+      ASSERT_EQ(Packet::pool_outstanding(events), 0u);
+    }
+    *peak_out = PacketPool::of(events).peak_outstanding();
+  };
+  std::size_t peak1 = 0;
+  std::size_t peak2 = 0;
+  std::thread t1(churn, &peak1);
+  std::thread t2(churn, &peak2);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(peak1, 64u);
+  EXPECT_EQ(peak2, 64u);
 }
 
 }  // namespace

@@ -17,7 +17,7 @@ TEST(Pipe, DeliversAfterDelay) {
   CountingSink sink("sink");
   Pipe pipe(events, "pipe", from_ms(25));
   Route route({&pipe, &sink});
-  Packet::alloc().send_on(route);
+  Packet::alloc(events).send_on(route);
   events.run_all();
   EXPECT_EQ(sink.packets(), 1u);
   EXPECT_EQ(events.now(), from_ms(25));
@@ -28,7 +28,7 @@ TEST(Pipe, ZeroDelayDeliversImmediately) {
   CountingSink sink("sink");
   Pipe pipe(events, "pipe", 0);
   Route route({&pipe, &sink});
-  Packet::alloc().send_on(route);
+  Packet::alloc(events).send_on(route);
   events.run_all();
   EXPECT_EQ(sink.packets(), 1u);
   EXPECT_EQ(events.now(), 0);
@@ -57,7 +57,7 @@ TEST(Pipe, PreservesOrderAndSpacing) {
   struct Injector : EventSource {
     Injector(EventList& e, const Route& r) : EventSource("inj"), events(e), route(r) {}
     void on_event() override {
-      Packet& p = Packet::alloc();
+      Packet& p = Packet::alloc(events);
       p.data_seq = static_cast<std::uint64_t>(count++);
       p.send_on(route);
     }
@@ -81,7 +81,7 @@ TEST(Pipe, ManyInFlightSimultaneously) {
   CountingSink sink("sink");
   Pipe pipe(events, "pipe", from_ms(100));
   Route route({&pipe, &sink});
-  for (int i = 0; i < 1000; ++i) Packet::alloc().send_on(route);
+  for (int i = 0; i < 1000; ++i) Packet::alloc(events).send_on(route);
   events.run_all();
   EXPECT_EQ(sink.packets(), 1000u);
   EXPECT_EQ(events.now(), from_ms(100));

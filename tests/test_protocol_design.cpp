@@ -86,7 +86,7 @@ TEST(ProtocolDesign, SharedBufferSurvivesSameScenario) {
 
   auto deliver = [&](std::uint32_t sf, std::uint64_t sseq,
                      std::uint64_t dseq) {
-    net::Packet& p = net::Packet::alloc();
+    net::Packet& p = net::Packet::alloc(events);
     p.type = net::PacketType::kData;
     p.flow_id = 1;
     p.subflow_id = sf;
@@ -169,7 +169,7 @@ TEST(ProtocolDesign, ExplicitDataAckNeverOverruns) {
 
   auto deliver = [&](std::uint32_t sf, std::uint64_t sseq,
                      std::uint64_t dseq) {
-    net::Packet& p = net::Packet::alloc();
+    net::Packet& p = net::Packet::alloc(events);
     p.type = net::PacketType::kData;
     p.flow_id = 1;
     p.subflow_id = sf;
@@ -212,7 +212,7 @@ TEST(ProtocolDesign, AcksFlowEvenWithZeroWindow) {
   rx.add_subflow(ack);
   net::Route direct({&rx});
   for (std::uint64_t i = 0; i < 5; ++i) {
-    net::Packet& p = net::Packet::alloc();
+    net::Packet& p = net::Packet::alloc(events);
     p.type = net::PacketType::kData;
     p.flow_id = 1;
     p.subflow_id = 0;
@@ -242,7 +242,7 @@ TEST(ProtocolDesign, SubflowSeqRewriteDoesNotCorruptStream) {
   // A "firewall" added a constant offset to subflow seqs; data seqs are
   // intact. Stream must reassemble perfectly.
   for (std::uint64_t i = 0; i < 10; ++i) {
-    net::Packet& p = net::Packet::alloc();
+    net::Packet& p = net::Packet::alloc(events);
     p.type = net::PacketType::kData;
     p.flow_id = 1;
     p.subflow_id = 0;

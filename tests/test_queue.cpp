@@ -12,8 +12,8 @@
 namespace mpsim::net {
 namespace {
 
-Packet& make_data() {
-  Packet& p = Packet::alloc();
+Packet& make_data(EventList& events) {
+  Packet& p = Packet::alloc(events);
   p.type = PacketType::kCbr;
   p.size_bytes = kDataPacketBytes;
   return p;
@@ -29,7 +29,7 @@ TEST_F(QueueTest, ServiceTimeMatchesRate) {
   // 12 Mb/s, 1500 B packet -> 1 ms serialization.
   Queue q(events, "q", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
-  make_data().send_on(route);
+  make_data(events).send_on(route);
   events.run_all();
   EXPECT_EQ(sink.packets(), 1u);
   EXPECT_EQ(events.now(), from_ms(1));
@@ -38,7 +38,7 @@ TEST_F(QueueTest, ServiceTimeMatchesRate) {
 TEST_F(QueueTest, BackToBackPacketsSerialise) {
   Queue q(events, "q", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
-  for (int i = 0; i < 5; ++i) make_data().send_on(route);
+  for (int i = 0; i < 5; ++i) make_data(events).send_on(route);
   events.run_all();
   EXPECT_EQ(sink.packets(), 5u);
   EXPECT_EQ(events.now(), from_ms(5));  // 5 x 1 ms, one at a time
@@ -48,7 +48,7 @@ TEST_F(QueueTest, DropTailWhenFull) {
   // Buffer of exactly 3 packets.
   Queue q(events, "q", 12e6, 3 * kDataPacketBytes);
   Route route({&q, &sink});
-  for (int i = 0; i < 10; ++i) make_data().send_on(route);
+  for (int i = 0; i < 10; ++i) make_data(events).send_on(route);
   EXPECT_EQ(q.drops(), 7u);
   events.run_all();
   EXPECT_EQ(sink.packets(), 3u);
@@ -59,7 +59,7 @@ TEST_F(QueueTest, DropTailWhenFull) {
 TEST_F(QueueTest, LossRateComputation) {
   Queue q(events, "q", 12e6, 5 * kDataPacketBytes);
   Route route({&q, &sink});
-  for (int i = 0; i < 10; ++i) make_data().send_on(route);
+  for (int i = 0; i < 10; ++i) make_data(events).send_on(route);
   events.run_all();
   EXPECT_DOUBLE_EQ(q.loss_rate(), 0.5);
 }
@@ -72,7 +72,7 @@ TEST_F(QueueTest, LossRateZeroWhenIdle) {
 TEST_F(QueueTest, ByteAccounting) {
   Queue q(events, "q", 12e6, 10 * kDataPacketBytes);
   Route route({&q, &sink});
-  for (int i = 0; i < 4; ++i) make_data().send_on(route);
+  for (int i = 0; i < 4; ++i) make_data(events).send_on(route);
   EXPECT_EQ(q.queued_bytes(), 4u * kDataPacketBytes);
   EXPECT_EQ(q.queued_packets(), 4u);
   events.run_all();
@@ -83,7 +83,7 @@ TEST_F(QueueTest, ByteAccounting) {
 TEST_F(QueueTest, SmallPacketsServeFaster) {
   Queue q(events, "q", 8e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
-  Packet& p = Packet::alloc();
+  Packet& p = Packet::alloc(events);
   p.type = PacketType::kCbr;
   p.size_bytes = 1000;  // 8 Mb/s -> 1 ms
   p.send_on(route);
@@ -105,7 +105,7 @@ TEST_F(QueueTest, FifoOrderPreserved) {
   } order;
   Route route({&q, &order});
   for (std::uint64_t i = 0; i < 6; ++i) {
-    Packet& p = make_data();
+    Packet& p = make_data(events);
     p.data_seq = i;
     p.send_on(route);
   }
@@ -117,7 +117,7 @@ TEST_F(QueueTest, FifoOrderPreserved) {
 TEST_F(QueueTest, ResetStatsClearsCounters) {
   Queue q(events, "q", 12e6, 2 * kDataPacketBytes);
   Route route({&q, &sink});
-  for (int i = 0; i < 5; ++i) make_data().send_on(route);
+  for (int i = 0; i < 5; ++i) make_data(events).send_on(route);
   events.run_all();
   q.reset_stats();
   EXPECT_EQ(q.arrivals(), 0u);
@@ -126,12 +126,12 @@ TEST_F(QueueTest, ResetStatsClearsCounters) {
 }
 
 TEST_F(QueueTest, DroppedPacketsReturnToPool) {
-  const std::size_t base = Packet::pool_outstanding();
+  const std::size_t base = Packet::pool_outstanding(events);
   Queue q(events, "q", 12e6, kDataPacketBytes);  // fits one packet
   Route route({&q, &sink});
-  for (int i = 0; i < 4; ++i) make_data().send_on(route);
+  for (int i = 0; i < 4; ++i) make_data(events).send_on(route);
   events.run_all();
-  EXPECT_EQ(Packet::pool_outstanding(), base);
+  EXPECT_EQ(Packet::pool_outstanding(events), base);
 }
 
 }  // namespace

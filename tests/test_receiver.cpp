@@ -39,7 +39,7 @@ class ReceiverTest : public ::testing::Test {
 
   void deliver(std::uint32_t subflow, std::uint64_t sub_seq,
                std::uint64_t data_seq) {
-    net::Packet& p = net::Packet::alloc();
+    net::Packet& p = net::Packet::alloc(events);
     p.type = net::PacketType::kData;
     p.flow_id = 1;
     p.subflow_id = subflow;
@@ -131,7 +131,7 @@ TEST_F(ReceiverTest, WindowViolationCountsOverflow) {
 }
 
 TEST_F(ReceiverTest, EchoFieldsCopiedToAck) {
-  net::Packet& p = net::Packet::alloc();
+  net::Packet& p = net::Packet::alloc(events);
   p.type = net::PacketType::kData;
   p.flow_id = 1;
   p.subflow_id = 0;

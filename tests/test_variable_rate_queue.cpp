@@ -9,8 +9,8 @@
 namespace mpsim::net {
 namespace {
 
-Packet& make_data() {
-  Packet& p = Packet::alloc();
+Packet& make_data(EventList& events) {
+  Packet& p = Packet::alloc(events);
   p.type = PacketType::kCbr;
   return p;
 }
@@ -32,7 +32,7 @@ TEST(VariableRateQueue, BehavesLikeFixedQueueWithoutChanges) {
   CountingSink sink("sink");
   VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
-  for (int i = 0; i < 3; ++i) make_data().send_on(route);
+  for (int i = 0; i < 3; ++i) make_data(events).send_on(route);
   events.run_all();
   EXPECT_EQ(sink.packets(), 3u);
   EXPECT_EQ(events.now(), from_ms(3));
@@ -45,7 +45,7 @@ TEST(VariableRateQueue, RateChangeMidServiceRescales) {
   // remaining half takes 1 ms at 6 Mb/s -> completes at 1.5 ms.
   VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
-  make_data().send_on(route);
+  make_data(events).send_on(route);
   RateChanger slow(q, 6e6);
   events.schedule_at(slow, from_us(500));
   events.run_all();
@@ -68,7 +68,7 @@ TEST(VariableRateQueue, SpeedupMidServiceFinishesEarlier) {
   } sink(events);
   VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
-  make_data().send_on(route);
+  make_data(events).send_on(route);
   RateChanger fast(q, 24e6);
   events.schedule_at(fast, from_us(500));
   events.run_all();
@@ -83,7 +83,7 @@ TEST(VariableRateQueue, OutageFreezesAndResumes) {
   CountingSink sink("sink");
   VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
-  make_data().send_on(route);
+  make_data(events).send_on(route);
   RateChanger off(q, 0.0);
   RateChanger on(q, 12e6);
   events.schedule_at(off, from_us(500));
@@ -102,7 +102,7 @@ TEST(VariableRateQueue, ArrivalsDuringOutageQueueUp) {
   VariableRateQueue q(events, "vq", 12e6, 10 * kDataPacketBytes);
   Route route({&q, &sink});
   q.set_rate(0.0);
-  for (int i = 0; i < 5; ++i) make_data().send_on(route);
+  for (int i = 0; i < 5; ++i) make_data(events).send_on(route);
   EXPECT_EQ(q.queued_packets(), 5u);
   RateChanger on(q, 12e6);
   events.schedule_at(on, from_ms(100));
@@ -117,7 +117,7 @@ TEST(VariableRateQueue, DropsStillApplyDuringOutage) {
   VariableRateQueue q(events, "vq", 12e6, 2 * kDataPacketBytes);
   Route route({&q, &sink});
   q.set_rate(0.0);
-  for (int i = 0; i < 5; ++i) make_data().send_on(route);
+  for (int i = 0; i < 5; ++i) make_data(events).send_on(route);
   EXPECT_EQ(q.drops(), 3u);
 }
 
