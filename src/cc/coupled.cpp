@@ -2,11 +2,18 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
+
 namespace mpsim::cc {
 
 double Coupled::increase_per_ack(const ConnectionView& c,
-                                 std::size_t /*r*/) const {
-  return 1.0 / total_window(c);
+                                 std::size_t r) const {
+  const double inc = 1.0 / total_window(c);
+  // Eq. (1) aggregate bound: the coupled increase never exceeds what a
+  // single TCP with the whole window would do on subflow r.
+  MPSIM_CHECK(inc > 0.0 && inc <= 1.0 / c.cwnd_pkts(r) + 1e-12,
+              "COUPLED increase outside (0, 1/w_r]");
+  return inc;
 }
 
 double Coupled::window_after_loss(const ConnectionView& c,

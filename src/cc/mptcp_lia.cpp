@@ -1,10 +1,11 @@
 #include "cc/mptcp_lia.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
+
+#include "core/check.hpp"
 
 namespace mpsim::cc {
 
@@ -14,13 +15,20 @@ namespace {
 // allocation is cheap relative to the packet-processing around it.
 std::vector<double> snapshot_windows(const ConnectionView& c) {
   std::vector<double> w(c.num_subflows());
-  for (std::size_t r = 0; r < w.size(); ++r) w[r] = c.cwnd_pkts(r);
+  for (std::size_t r = 0; r < w.size(); ++r) {
+    w[r] = c.cwnd_pkts(r);
+    MPSIM_CHECK(w[r] > 0.0,
+                "congestion window must stay positive (>= min_cwnd)");
+  }
   return w;
 }
 
 std::vector<double> snapshot_rtts(const ConnectionView& c) {
   std::vector<double> rtt(c.num_subflows());
-  for (std::size_t r = 0; r < rtt.size(); ++r) rtt[r] = c.srtt_sec(r);
+  for (std::size_t r = 0; r < rtt.size(); ++r) {
+    rtt[r] = c.srtt_sec(r);
+    MPSIM_CHECK(rtt[r] > 0.0, "smoothed RTT must be positive");
+  }
   return rtt;
 }
 }  // namespace
@@ -29,7 +37,7 @@ double MptcpLia::increase_linear(const std::vector<double>& windows,
                                  const std::vector<double>& rtts,
                                  std::size_t r) {
   const std::size_t n = windows.size();
-  assert(rtts.size() == n && r < n);
+  MPSIM_CHECK(rtts.size() == n && r < n, "window/RTT vectors out of step");
 
   // Order subflows by w/RTT^2 ascending. Note (sqrt(w)/RTT)^2 = w/RTT^2, so
   // this is the appendix's sqrt(w_s)/RTT_s ordering.
@@ -60,7 +68,7 @@ double MptcpLia::increase_bruteforce(const std::vector<double>& windows,
                                      const std::vector<double>& rtts,
                                      std::size_t r) {
   const std::size_t n = windows.size();
-  assert(n <= 20 && "brute force is exponential; test use only");
+  MPSIM_CHECK(n <= 20, "brute force is exponential; test use only");
   double best = std::numeric_limits<double>::infinity();
   for (std::size_t mask = 1; mask < (1u << n); ++mask) {
     if (!(mask & (1u << r))) continue;
@@ -78,7 +86,13 @@ double MptcpLia::increase_bruteforce(const std::vector<double>& windows,
 
 double MptcpLia::increase_per_ack(const ConnectionView& c,
                                   std::size_t r) const {
-  return increase_linear(snapshot_windows(c), snapshot_rtts(c), r);
+  const double inc =
+      increase_linear(snapshot_windows(c), snapshot_rtts(c), r);
+  // Eq. (1): the minimum over subsets containing r is bounded by the
+  // singleton-equivalent term, i.e. never more aggressive than 1/w_r.
+  MPSIM_CHECK(inc > 0.0 && inc <= 1.0 / c.cwnd_pkts(r) + 1e-12,
+              "LIA increase outside (0, 1/w_r] (eq. 1 bound)");
+  return inc;
 }
 
 double MptcpLia::window_after_loss(const ConnectionView& c,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
+
 namespace mpsim::cc {
 
 double Rfc6356::alpha(const ConnectionView& c) {
@@ -19,6 +21,7 @@ double Rfc6356::alpha(const ConnectionView& c) {
 double Rfc6356::increase_per_ack(const ConnectionView& c,
                                  std::size_t r) const {
   const double a = alpha(c);
+  MPSIM_CHECK(a > 0.0, "RFC 6356 alpha must be positive");
   return std::min(a / total_window(c), 1.0 / c.cwnd_pkts(r));
 }
 

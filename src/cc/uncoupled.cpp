@@ -1,10 +1,19 @@
 #include "cc/uncoupled.hpp"
 
+#include "core/check.hpp"
+
 namespace mpsim::cc {
 
 double total_window(const ConnectionView& c) {
+  MPSIM_CHECK(c.num_subflows() > 0,
+              "congestion control invoked with no subflows");
   double total = 0.0;
-  for (std::size_t r = 0; r < c.num_subflows(); ++r) total += c.cwnd_pkts(r);
+  for (std::size_t r = 0; r < c.num_subflows(); ++r) {
+    MPSIM_CHECK(c.cwnd_pkts(r) > 0.0,
+                "congestion window must stay positive (>= min_cwnd)");
+    MPSIM_CHECK(c.srtt_sec(r) > 0.0, "smoothed RTT must be positive");
+    total += c.cwnd_pkts(r);
+  }
   return total;
 }
 

@@ -1,0 +1,52 @@
+#include "core/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace mpsim {
+
+namespace {
+
+thread_local CheckHandler g_handler = nullptr;
+
+[[noreturn]] void default_handler(const char* file, int line, const char* expr,
+                                  const char* msg) {
+  std::fprintf(stderr, "MPSIM_CHECK failed at %s:%d: %s (%s)\n", file, line,
+               expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void throwing_handler(const char* file, int line,
+                                   const char* expr, const char* msg) {
+  throw CheckFailureError(std::string(file) + ":" + std::to_string(line) +
+                          ": " + expr + " (" + msg + ")");
+}
+
+}  // namespace
+
+bool checks_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("MPSIM_CHECKS");
+    return v == nullptr || std::string_view(v) != "off";
+  }();
+  return enabled;
+}
+
+void check_failed(const char* file, int line, const char* expr,
+                  const char* msg) {
+  if (g_handler != nullptr) g_handler(file, line, expr, msg);
+  default_handler(file, line, expr, msg);
+}
+
+ScopedCheckHandler::ScopedCheckHandler(CheckHandler h) : prev_(g_handler) {
+  g_handler = h;
+}
+
+ScopedCheckHandler::~ScopedCheckHandler() { g_handler = prev_; }
+
+ScopedThrowingChecks::ScopedThrowingChecks()
+    : ScopedCheckHandler(&throwing_handler) {}
+
+}  // namespace mpsim

@@ -1,8 +1,9 @@
 #include "core/event_list.hpp"
 
-#include <cassert>
 #include <cstdlib>
 #include <string_view>
+
+#include "core/check.hpp"
 
 namespace mpsim {
 
@@ -23,14 +24,14 @@ EventList::EventList(SchedulerKind kind) {
 }
 
 EventList::Service& EventList::attach_service(std::unique_ptr<Service> s) {
-  assert(!service_ && "simulation service already attached");
+  MPSIM_CHECK(!service_, "simulation service already attached");
   service_ = std::move(s);
   return *service_;
 }
 
 void EventList::schedule_at(EventSource& src, SimTime t) {
-  assert(t >= now_ && "cannot schedule in the past");
-  if (t < now_) t = now_;  // degrade gracefully in release builds
+  MPSIM_CHECK(t >= now_, "cannot schedule in the past (clock rollback)");
+  if (t < now_) t = now_;  // degrade gracefully when checks are off
   if (wheel_) {
     wheel_->schedule(t, next_seq_++, &src);
   } else {
@@ -42,6 +43,7 @@ bool EventList::run_one() {
   if (wheel_) {
     if (wheel_->empty()) return false;
     const TimingWheel::Entry e = wheel_->pop();
+    MPSIM_CHECK(e.time >= now_, "event clock must advance monotonically");
     now_ = e.time;
     ++processed_;
     e.src->on_event();
@@ -50,6 +52,7 @@ bool EventList::run_one() {
   if (heap_.empty()) return false;
   Entry e = heap_.top();
   heap_.pop();
+  MPSIM_CHECK(e.time >= now_, "event clock must advance monotonically");
   now_ = e.time;
   ++processed_;
   e.src->on_event();

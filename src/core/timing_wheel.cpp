@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
+
+#include "core/check.hpp"
 
 namespace mpsim {
 
 void TimingWheel::schedule(SimTime t, std::uint64_t seq, EventSource* src) {
-  assert(static_cast<std::uint64_t>(t) >= cur_ || size_ == 0);
+  MPSIM_CHECK(static_cast<std::uint64_t>(t) >= cur_ || size_ == 0,
+              "wheel entries must not precede the current tick");
   insert(Entry{t, seq, src});
   ++size_;
 }
@@ -103,10 +105,10 @@ SimTime TimingWheel::next_time() const {
 }
 
 TimingWheel::Entry TimingWheel::pop() {
-  assert(size_ > 0);
+  MPSIM_CHECK(size_ > 0, "pop() from an empty wheel");
   Entry e;
   const bool ok = pop_if_before(kNever, e);
-  assert(ok);
+  MPSIM_CHECK(ok, "non-empty wheel must yield an entry");
   (void)ok;
   return e;
 }
@@ -125,7 +127,7 @@ bool TimingWheel::pop_if_before(SimTime limit, Entry& out) {
       Level& l0 = levels_[0];
       Slot& s = l0.slots[static_cast<std::size_t>(idx)];
       if (!s.sorted) {
-        assert(s.head == 0);
+        MPSIM_CHECK(s.head == 0, "unsorted slot must not be mid-drain");
         if (s.entries.size() > 1) {
           std::sort(s.entries.begin(), s.entries.end(),
                     [](const Entry& a, const Entry& b) {
@@ -171,13 +173,14 @@ bool TimingWheel::pop_if_before(SimTime limit, Entry& out) {
         advanced = true;
         break;
       }
-      assert(advanced);
+      MPSIM_CHECK(advanced, "occupied wheel must have a next slot");
       (void)advanced;
       continue;
     }
     // Wheel drained: rebase onto the overflow heap's next epoch and pull in
     // every far-future event that now fits under the horizon.
-    assert(!overflow_.empty());
+    MPSIM_CHECK(!overflow_.empty(),
+                "size_ > 0 with drained wheel implies overflow entries");
     if (static_cast<std::uint64_t>(overflow_.top().time) > lim) return false;
     cur_ = static_cast<std::uint64_t>(overflow_.top().time);
     while (!overflow_.empty() &&

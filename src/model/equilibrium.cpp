@@ -1,8 +1,9 @@
 #include "model/equilibrium.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hpp"
 
 #include "cc/mptcp_lia.hpp"
 #include "model/tcp_model.hpp"
@@ -13,7 +14,7 @@ MptcpEquilibrium mptcp_equilibrium(const std::vector<double>& loss,
                                    const std::vector<double>& rtt,
                                    double tol, int max_iter) {
   const std::size_t n = loss.size();
-  assert(rtt.size() == n && n > 0);
+  MPSIM_CHECK(rtt.size() == n && n > 0, "loss/RTT vectors must align");
 
   MptcpEquilibrium eq;
   // Start from the single-path TCP windows; the equilibrium lies below.

@@ -1,8 +1,9 @@
 #include "model/fairness.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hpp"
 #include <limits>
 
 #include "model/tcp_model.hpp"
@@ -14,8 +15,9 @@ FairnessReport check_fairness(const std::vector<double>& windows,
                               const std::vector<double>& rtt,
                               double tolerance) {
   const std::size_t n = windows.size();
-  assert(loss.size() == n && rtt.size() == n);
-  assert(n <= 24 && "subset enumeration is exponential");
+  MPSIM_CHECK(loss.size() == n && rtt.size() == n,
+              "window/loss/RTT vectors must align");
+  MPSIM_CHECK(n <= 24, "subset enumeration is exponential");
 
   std::vector<double> rate(n), tcp(n);
   double total = 0.0;

@@ -1,25 +1,26 @@
 #include "model/tcp_model.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hpp"
 
 namespace mpsim::model {
 
 double tcp_window(double p) {
-  assert(p > 0.0 && p <= 1.0);
+  MPSIM_CHECK(p > 0.0 && p <= 1.0, "loss probability must be in (0, 1]");
   return std::sqrt(2.0 * (1.0 - p) / p);
 }
 
 double tcp_rate(double p, double rtt) {
-  assert(rtt > 0.0);
+  MPSIM_CHECK(rtt > 0.0, "RTT must be positive");
   return std::sqrt(2.0 / p) / rtt;
 }
 
 double ewtcp_window(double p, double phi) { return phi * tcp_window(p); }
 
 CoupledEquilibrium coupled_equilibrium(const std::vector<double>& loss) {
-  assert(!loss.empty());
+  MPSIM_CHECK(!loss.empty(), "need at least one path loss rate");
   CoupledEquilibrium eq;
   const double pmin = *std::min_element(loss.begin(), loss.end());
   eq.total_window = tcp_window(pmin);
@@ -42,7 +43,7 @@ std::vector<double> semicoupled_windows(const std::vector<double>& loss,
                                         double a) {
   double inv_sum = 0.0;
   for (double p : loss) {
-    assert(p > 0.0);
+    MPSIM_CHECK(p > 0.0, "loss probability must be positive");
     inv_sum += 1.0 / p;
   }
   std::vector<double> w(loss.size());

@@ -1,15 +1,17 @@
 #include "mptcp/connection.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 #include <vector>
 
 #include "cc/uncoupled.hpp"
+#include "core/check.hpp"
 
 namespace mpsim::mptcp {
 
-std::uint32_t MptcpConnection::next_flow_id_ = 1;
+// Atomic: connections are constructed concurrently by parallel
+// ExperimentRunner jobs; ids only need to be unique, not dense.
+std::atomic<std::uint32_t> MptcpConnection::next_flow_id_{1};
 
 MptcpConnection::MptcpConnection(EventList& events, std::string name,
                                  const cc::CongestionControl& cc,
@@ -18,7 +20,7 @@ MptcpConnection::MptcpConnection(EventList& events, std::string name,
       events_(events),
       cc_(cc),
       cfg_(cfg),
-      flow_id_(next_flow_id_++),
+      flow_id_(next_flow_id_.fetch_add(1, std::memory_order_relaxed)),
       scheduler_(cfg.app_limit_pkts, cfg.recv_buffer_pkts),
       receiver_(events, EventSource::name() + "/rx", flow_id_,
                 cfg.recv_buffer_pkts) {}
@@ -91,6 +93,10 @@ double MptcpConnection::window_after_loss(std::uint32_t subflow_id) {
 
 void MptcpConnection::on_data_ack(std::uint64_t data_cum_ack,
                                   std::uint64_t rcv_window) {
+  // A data-level cumulative ACK can never pass the highest data sequence
+  // the scheduler has handed out (the receiver acks only what was sent).
+  MPSIM_CHECK(data_cum_ack <= scheduler_.next_new(),
+              "data-level ACK beyond the highest data seq ever sent");
   scheduler_.on_data_ack(data_cum_ack, rcv_window);
   if (scheduler_.data_cum_ack() > last_data_cum_) {
     last_data_cum_ = scheduler_.data_cum_ack();
@@ -153,8 +159,7 @@ void MptcpConnection::maybe_reinject_head_of_line() {
 }
 
 double MptcpConnection::srtt_sec(std::size_t r) const {
-  return to_sec(subflows_[r]->rtt().srtt(
-      static_cast<SimTime>(cfg_.fallback_rtt_sec * 1e9)));
+  return to_sec(subflows_[r]->rtt().srtt(from_sec(cfg_.fallback_rtt_sec)));
 }
 
 double MptcpConnection::delivered_mbps(SimTime elapsed) const {

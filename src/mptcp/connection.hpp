@@ -18,6 +18,7 @@
 // UNCOUPLED algorithm (to which every coupled algorithm reduces at n = 1).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -136,7 +137,7 @@ class MptcpConnection : public tcp::SubflowHost,
   SimTime last_hol_reinject_ = 0;
   std::uint64_t hol_reinjections_ = 0;
 
-  static std::uint32_t next_flow_id_;
+  static std::atomic<std::uint32_t> next_flow_id_;
 };
 
 // Convenience: a regular single-path TCP (one subflow, UNCOUPLED).

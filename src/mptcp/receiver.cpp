@@ -1,7 +1,8 @@
 #include "mptcp/receiver.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "core/check.hpp"
 
 namespace mpsim::mptcp {
 
@@ -34,9 +35,12 @@ void MptcpReceiver::set_delayed_ack(bool enabled, SimTime delay) {
 }
 
 void MptcpReceiver::receive(net::Packet& pkt) {
-  assert(pkt.type == net::PacketType::kData);
-  assert(pkt.flow_id == flow_id_);
-  assert(pkt.subflow_id < subflows_.size());
+  MPSIM_CHECK(pkt.type == net::PacketType::kData,
+              "receiver can only accept data packets");
+  MPSIM_CHECK(pkt.flow_id == flow_id_,
+              "packet delivered to the wrong connection's receiver");
+  MPSIM_CHECK(pkt.subflow_id < subflows_.size(),
+              "data packet names an unregistered subflow");
   ++packets_received_;
 
   // --- subflow-level reassembly (drives loss detection at the sender) ---
@@ -74,6 +78,10 @@ void MptcpReceiver::receive(net::Packet& pkt) {
     ooo_data_.insert(dseq);
   }
 
+  MPSIM_CHECK(buffer_occupancy() <= capacity_,
+              "shared receive buffer overflow (6 deadlock-avoidance bound)");
+  MPSIM_CHECK(app_read_seq_ <= rcv_nxt_data_,
+              "application cannot read past the in-order edge");
   send_ack(pkt);
   // Perfectly in-order traffic under delayed ACKs may leave one segment
   // pending; anything else was acked immediately inside send_ack.

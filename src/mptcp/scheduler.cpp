@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
+
 namespace mpsim::mptcp {
 
 bool DataScheduler::next_data(std::uint64_t& data_seq) {
@@ -24,6 +26,10 @@ void DataScheduler::on_data_ack(std::uint64_t data_cum_ack,
                                 std::uint64_t rcv_window) {
   data_cum_ack_ = std::max(data_cum_ack_, data_cum_ack);
   right_edge_ = std::max(right_edge_, data_cum_ack + rcv_window);
+  // (data_cum_ack <= highest-assigned is checked by MptcpConnection, which
+  // owns both ends; the scheduler alone may be driven abstractly in tests.)
+  MPSIM_CHECK(data_cum_ack_ <= right_edge_,
+              "flow-control right edge fell behind the cumulative ACK");
 }
 
 void DataScheduler::reinject(const std::vector<std::uint64_t>& data_seqs) {

@@ -51,7 +51,7 @@ class OnOffCbrSource : public EventSource {
 
  private:
   SimTime inter_packet_gap() const {
-    return static_cast<SimTime>(kDataPacketBytes * 8.0 / rate_bps_ * 1e9);
+    return from_sec(kDataPacketBytes * 8.0 / rate_bps_);
   }
 
   EventList& events_;

@@ -1,6 +1,6 @@
 #include "net/packet.hpp"
 
-#include <cassert>
+#include "core/check.hpp"
 
 namespace mpsim::net {
 
@@ -13,17 +13,27 @@ Packet& PacketPool::alloc() {
   } else {
     p = free_.back();
     free_.pop_back();
+    MPSIM_CHECK(p->in_pool_, "free-list packet not marked as pooled");
   }
+  p->in_pool_ = false;
   ++outstanding_;
+  ++total_allocated_;
   if (outstanding_ > peak_) peak_ = outstanding_;
+  MPSIM_CHECK(outstanding_ + free_.size() == storage_.size(),
+              "packet conservation: outstanding + free != capacity");
   return *p;
 }
 
 void PacketPool::release(Packet& p) {
-  assert(p.pool_ == this);
-  assert(outstanding_ > 0);
+  MPSIM_CHECK(p.pool_ == this, "packet released to a foreign pool");
+  MPSIM_CHECK(!p.in_pool_, "packet double-released to pool");
+  MPSIM_CHECK(outstanding_ > 0, "release with no outstanding packets");
+  p.in_pool_ = true;
   --outstanding_;
+  ++total_released_;
   free_.push_back(&p);
+  MPSIM_CHECK(outstanding_ + free_.size() == storage_.size(),
+              "packet conservation: outstanding + free != capacity");
 }
 
 PacketPool& PacketPool::of(EventList& events) {
@@ -64,7 +74,7 @@ Packet& Packet::alloc(EventList& events) {
 }
 
 void Packet::release() {
-  assert(pool_ != nullptr && "packet was not pool-allocated");
+  MPSIM_CHECK(pool_ != nullptr, "packet was not pool-allocated");
   pool_->release(*this);
 }
 
@@ -74,14 +84,17 @@ std::size_t Packet::pool_outstanding(const EventList& events) {
 }
 
 void Packet::send_on(const Route& route) {
-  assert(route.size() > 0);
+  MPSIM_CHECK(route.size() > 0, "cannot send on an empty route");
+  MPSIM_CHECK(!in_pool_, "sending a packet that lives in the pool");
   route_ = &route;
   next_hop_ = 1;
   route.at(0)->receive(*this);
 }
 
 void Packet::advance() {
-  assert(route_ != nullptr && next_hop_ < route_->size());
+  MPSIM_CHECK(route_ != nullptr && next_hop_ < route_->size(),
+              "advance past the end of the route");
+  MPSIM_CHECK(!in_pool_, "advancing a packet that lives in the pool");
   PacketSink* sink = route_->at(next_hop_++);
   sink->receive(*this);
 }

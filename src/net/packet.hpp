@@ -119,6 +119,7 @@ class Packet {
   const Route* route_ = nullptr;
   std::uint32_t next_hop_ = 0;
   PacketPool* pool_ = nullptr;  // owning pool, set once at first alloc
+  bool in_pool_ = false;        // double-free detector (see PacketPool)
 };
 
 // Free-list pool of one simulation instance. Owned by the EventList as its
@@ -138,6 +139,15 @@ class PacketPool final : public EventList::Service {
   std::size_t peak_outstanding() const { return peak_; }
   std::size_t capacity() const { return storage_.size(); }
 
+  // Conservation ledger: every alloc() and release() is counted, and the
+  // invariant  total_allocated == total_released + outstanding  (equivalently
+  // outstanding + free == capacity) is MPSIM_CHECKed on every pool
+  // operation. At teardown, outstanding() is exactly the packets still in
+  // flight inside queues and pipes — a nonzero value with a drained event
+  // list indicates a leak (asserted by tests).
+  std::uint64_t total_allocated() const { return total_allocated_; }
+  std::uint64_t total_released() const { return total_released_; }
+
   // The pool of `events`' simulation, attached lazily on first use.
   static PacketPool& of(EventList& events);
   // Like of(), but nullptr when no pool has been attached yet.
@@ -148,6 +158,8 @@ class PacketPool final : public EventList::Service {
   std::vector<Packet*> free_;
   std::size_t outstanding_ = 0;
   std::size_t peak_ = 0;
+  std::uint64_t total_allocated_ = 0;
+  std::uint64_t total_released_ = 0;
 };
 
 }  // namespace mpsim::net

@@ -1,12 +1,12 @@
 #include "net/pipe.hpp"
 
-#include <cassert>
+#include "core/check.hpp"
 
 namespace mpsim::net {
 
 Pipe::Pipe(EventList& events, std::string name, SimTime delay)
     : EventSource(std::move(name)), events_(events), delay_(delay) {
-  assert(delay_ >= 0);
+  MPSIM_CHECK(delay_ >= 0, "propagation delay must be non-negative");
 }
 
 void Pipe::receive(Packet& pkt) {
@@ -18,9 +18,9 @@ void Pipe::receive(Packet& pkt) {
 void Pipe::on_event() {
   // One wake-up was scheduled per packet, so exactly the due head is
   // delivered here; arrivals are FIFO because delay is constant.
-  assert(!in_flight_.empty());
+  MPSIM_CHECK(!in_flight_.empty(), "pipe wake-up with nothing in flight");
   auto [due, pkt] = in_flight_.front();
-  assert(due == events_.now());
+  MPSIM_CHECK(due == events_.now(), "pipe delivery must fire exactly on time");
   in_flight_.pop_front();
   pkt->advance();
 }

@@ -1,7 +1,8 @@
 #include "net/queue.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "core/check.hpp"
 
 namespace mpsim::net {
 
@@ -11,10 +12,12 @@ Queue::Queue(EventList& events, std::string name, double rate_bps,
       events_(events),
       rate_bps_(rate_bps),
       max_bytes_(max_bytes) {
-  assert(rate_bps_ > 0);
+  MPSIM_CHECK(rate_bps_ > 0, "queue service rate must be positive");
 }
 
 void Queue::receive(Packet& pkt) {
+  MPSIM_CHECK(queued_bytes_ <= max_bytes_,
+              "queue occupancy exceeds buffer capacity");
   ++arrivals_;
   if (queued_bytes_ + pkt.size_bytes > max_bytes_) {
     ++drops_;
@@ -27,7 +30,8 @@ void Queue::receive(Packet& pkt) {
 }
 
 void Queue::start_service() {
-  assert(!busy_ && !fifo_.empty());
+  MPSIM_CHECK(!busy_ && !fifo_.empty(),
+              "start_service needs an idle server and a waiting packet");
   busy_ = true;
   in_service_ = fifo_.front();
   fifo_.pop_front();
@@ -40,8 +44,11 @@ void Queue::on_event() {
   // the rate changes, which can leave stale wake-ups in the heap.
   if (!busy_ || events_.now() < service_done_at_) return;
   Packet* pkt = in_service_;
+  MPSIM_CHECK(pkt != nullptr, "busy queue must have a packet in service");
   in_service_ = nullptr;
   busy_ = false;
+  MPSIM_CHECK(queued_bytes_ >= pkt->size_bytes,
+              "queue byte accounting underflow on departure");
   queued_bytes_ -= pkt->size_bytes;
   ++departures_;
   bytes_forwarded_ += pkt->size_bytes;

@@ -44,8 +44,7 @@ class Queue : public PacketSink, public EventSource {
 
  protected:
   SimTime service_time(const Packet& pkt) const {
-    return static_cast<SimTime>(static_cast<double>(pkt.size_bytes) * 8.0 /
-                                rate_bps_ * 1e9);
+    return from_sec(static_cast<double>(pkt.size_bytes) * 8.0 / rate_bps_);
   }
   void start_service();
 

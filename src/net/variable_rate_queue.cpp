@@ -1,7 +1,8 @@
 #include "net/variable_rate_queue.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "core/check.hpp"
 
 namespace mpsim::net {
 
@@ -10,6 +11,8 @@ VariableRateQueue::VariableRateQueue(EventList& events, std::string name,
     : Queue(events, std::move(name), rate_bps, max_bytes) {}
 
 void VariableRateQueue::receive(Packet& pkt) {
+  MPSIM_CHECK(queued_bytes_ <= max_bytes_,
+              "queue occupancy exceeds buffer capacity");
   ++arrivals_;
   if (queued_bytes_ + pkt.size_bytes > max_bytes_) {
     ++drops_;
@@ -26,13 +29,14 @@ void VariableRateQueue::receive(Packet& pkt) {
 }
 
 void VariableRateQueue::set_rate(double rate_bps) {
-  assert(rate_bps >= 0.0);
+  MPSIM_CHECK(rate_bps >= 0.0, "link rate must be non-negative");
   const SimTime now = events_.now();
   if (busy_) {
     // Bank progress made at the old rate before switching.
     if (rate_bps_ > 0.0) {
-      const double total =
-          static_cast<double>(in_service_->size_bytes) * 8.0 / rate_bps_ * 1e9;
+      const double total = static_cast<double>(
+          from_sec(static_cast<double>(in_service_->size_bytes) * 8.0 /
+                   rate_bps_));
       fraction_done_ += static_cast<double>(now - fraction_as_of_) / total;
       if (fraction_done_ > 1.0) fraction_done_ = 1.0;
     }
@@ -49,13 +53,13 @@ void VariableRateQueue::set_rate(double rate_bps) {
 }
 
 void VariableRateQueue::reschedule_head() {
-  assert(busy_);
+  MPSIM_CHECK(busy_, "reschedule_head requires a packet in service");
   if (rate_bps_ == 0.0) {
     service_done_at_ = kNever;  // frozen; stale wake-ups self-discard
     return;
   }
-  const double total =
-      static_cast<double>(in_service_->size_bytes) * 8.0 / rate_bps_ * 1e9;
+  const double total = static_cast<double>(from_sec(
+      static_cast<double>(in_service_->size_bytes) * 8.0 / rate_bps_));
   const double remaining = (1.0 - fraction_done_) * total;
   service_done_at_ = events_.now() + static_cast<SimTime>(remaining);
   events_.schedule_at(*this, service_done_at_);

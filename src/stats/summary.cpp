@@ -1,8 +1,9 @@
 #include "stats/summary.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "core/check.hpp"
 
 namespace mpsim::stats {
 
@@ -34,17 +35,18 @@ double stddev(const std::vector<double>& xs) {
 }
 
 double minimum(const std::vector<double>& xs) {
-  assert(!xs.empty());
+  MPSIM_CHECK(!xs.empty(), "minimum of an empty sample");
   return *std::min_element(xs.begin(), xs.end());
 }
 
 double maximum(const std::vector<double>& xs) {
-  assert(!xs.empty());
+  MPSIM_CHECK(!xs.empty(), "maximum of an empty sample");
   return *std::max_element(xs.begin(), xs.end());
 }
 
 double percentile(std::vector<double> xs, double q) {
-  assert(!xs.empty() && q >= 0.0 && q <= 1.0);
+  MPSIM_CHECK(!xs.empty() && q >= 0.0 && q <= 1.0,
+              "percentile needs data and q in [0, 1]");
   std::sort(xs.begin(), xs.end());
   const auto idx = static_cast<std::size_t>(
       q * static_cast<double>(xs.size() - 1) + 0.5);

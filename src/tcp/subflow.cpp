@@ -1,10 +1,11 @@
 #include "tcp/subflow.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <utility>
+
+#include "core/check.hpp"
 
 namespace mpsim::tcp {
 
@@ -58,8 +59,9 @@ void Subflow::try_send() {
 }
 
 void Subflow::send_packet(std::uint64_t subflow_seq, bool is_retransmit) {
-  assert(subflow_seq >= scoreboard_base_ &&
-         subflow_seq - scoreboard_base_ < scoreboard_.size());
+  MPSIM_CHECK(subflow_seq >= scoreboard_base_ &&
+                  subflow_seq - scoreboard_base_ < scoreboard_.size(),
+              "subflow seq outside the scoreboard's data-seq map");
   net::Packet& pkt = net::Packet::alloc(events_);
   pkt.type = net::PacketType::kData;
   pkt.flow_id = flow_id_;
@@ -75,7 +77,8 @@ void Subflow::send_packet(std::uint64_t subflow_seq, bool is_retransmit) {
 }
 
 void Subflow::receive(net::Packet& pkt) {
-  assert(pkt.type == net::PacketType::kAck);
+  MPSIM_CHECK(pkt.type == net::PacketType::kAck,
+              "subflow sender can only receive ACKs");
   handle_ack(pkt);
   pkt.release();
 }
@@ -165,7 +168,22 @@ void Subflow::handle_ack(net::Packet& ack) {
   // armed timer — otherwise a long dupack stream keeps the RTO at bay
   // forever and a stalled recovery can never escape.)
   try_send();
+  check_invariants();
   host_.on_subflow_progress(subflow_id_);
+}
+
+// The subflow<->data sequence map and window invariants (paper 6: the two
+// sequence spaces are separate but must stay consistent; 2.4: windows are
+// bounded below so every path keeps being probed).
+void Subflow::check_invariants() const {
+  MPSIM_CHECK(snd_una_ <= snd_nxt_ && snd_nxt_ <= high_water_,
+              "sequence order violated: need snd_una <= snd_nxt <= high_water");
+  MPSIM_CHECK(scoreboard_base_ == snd_una_,
+              "scoreboard base must track the cumulative ACK");
+  MPSIM_CHECK(scoreboard_.size() == high_water_ - scoreboard_base_,
+              "scoreboard must map every un-acked subflow seq to a data seq");
+  MPSIM_CHECK(cwnd_ >= cfg_.min_cwnd,
+              "cwnd below the paper's >= 1 pkt probing bound");
 }
 
 void Subflow::enter_recovery() {

@@ -134,6 +134,7 @@ class Subflow : public net::PacketSink, public EventSource {
   void arm_rto();
   void cancel_rto() { rto_armed_ = false; }
   void clamp_cwnd();
+  void check_invariants() const;
 
   EventList& events_;
   SubflowHost& host_;

@@ -1,14 +1,15 @@
 #include "topo/bcube.hpp"
 
-#include <cassert>
 #include <string>
+
+#include "core/check.hpp"
 
 namespace mpsim::topo {
 
 BCube::BCube(Network& net, int n, int k, double link_rate_bps,
              SimTime per_hop_delay, std::uint64_t buf_bytes)
     : net_(net), n_(n), k_(k), per_hop_delay_(per_hop_delay) {
-  assert(n >= 2 && k >= 0);
+  MPSIM_CHECK(n >= 2 && k >= 0, "BCube needs n >= 2 hosts/switch, k >= 0");
   hosts_ = 1;
   for (int l = 0; l <= k; ++l) hosts_ *= n;
 
@@ -48,7 +49,7 @@ void BCube::append_correction(Path& path, int cur, int level,
 }
 
 Path BCube::single_path(int src, int dst) const {
-  assert(src != dst);
+  MPSIM_CHECK(src != dst, "source and destination must differ");
   Path path;
   int cur = src;
   for (int l = k_; l >= 0; --l) {
@@ -61,7 +62,7 @@ Path BCube::single_path(int src, int dst) const {
 }
 
 std::vector<Path> BCube::paths(int src, int dst, Rng& rng) const {
-  assert(src != dst);
+  MPSIM_CHECK(src != dst, "source and destination must differ");
   const int lv = levels();
   std::vector<Path> out;
   out.reserve(static_cast<std::size_t>(lv));
@@ -93,7 +94,7 @@ std::vector<Path> BCube::paths(int src, int dst, Rng& rng) const {
       append_correction(path, cur, detour_level, digit(dst, detour_level));
       cur = with_digit(cur, detour_level, digit(dst, detour_level));
     }
-    assert(cur == dst);
+    MPSIM_CHECK(cur == dst, "path construction must terminate at dst");
     out.push_back(std::move(path));
   }
   return out;

@@ -1,14 +1,15 @@
 #include "topo/fat_tree.hpp"
 
-#include <cassert>
 #include <string>
+
+#include "core/check.hpp"
 
 namespace mpsim::topo {
 
 FatTree::FatTree(Network& net, int k, double link_rate_bps,
                  SimTime per_hop_delay, std::uint64_t buf_bytes)
     : net_(net), k_(k), half_k_(k / 2), per_hop_delay_(per_hop_delay) {
-  assert(k % 2 == 0 && k >= 2);
+  MPSIM_CHECK(k % 2 == 0 && k >= 2, "fat-tree arity must be even, >= 2");
   const int hosts = num_hosts();
   const int pods = k_;
   const int cores = half_k_ * half_k_;
@@ -62,8 +63,9 @@ FatTree::FatTree(Network& net, int k, double link_rate_bps,
 }
 
 std::vector<Path> FatTree::paths(int src, int dst) const {
-  assert(src != dst && src >= 0 && dst >= 0 && src < num_hosts() &&
-         dst < num_hosts());
+  MPSIM_CHECK(src != dst && src >= 0 && dst >= 0 && src < num_hosts() &&
+                  dst < num_hosts(),
+              "host indices out of range or equal");
   const int ps = pod_of(src), pd = pod_of(dst);
   const int es = edge_of(src), ed = edge_of(dst);
   std::vector<Path> out;

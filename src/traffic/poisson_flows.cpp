@@ -54,8 +54,7 @@ void PoissonFlowGenerator::on_event() {
       (now - started_at_) / cfg_.phase_duration);
   const double rate = (phase % 2 == 0) ? cfg_.light_rate_per_sec
                                        : cfg_.heavy_rate_per_sec;
-  const SimTime gap = static_cast<SimTime>(
-      rng_.exponential(1.0 / rate) * 1e9);
+  const SimTime gap = from_sec(rng_.exponential(1.0 / rate));
   events_.schedule_at(*this, now + std::max<SimTime>(1, gap));
 }
 

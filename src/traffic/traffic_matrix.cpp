@@ -1,13 +1,14 @@
 #include "traffic/traffic_matrix.hpp"
 
-#include <cassert>
 #include <numeric>
+
+#include "core/check.hpp"
 #include <unordered_set>
 
 namespace mpsim::traffic {
 
 std::vector<FlowPair> permutation_tm(int hosts, Rng& rng) {
-  assert(hosts >= 2);
+  MPSIM_CHECK(hosts >= 2, "traffic matrix needs at least two hosts");
   std::vector<int> dst(static_cast<std::size_t>(hosts));
   std::iota(dst.begin(), dst.end(), 0);
   // Shuffle until a derangement (expected ~e tries).
@@ -32,7 +33,8 @@ std::vector<FlowPair> permutation_tm(int hosts, Rng& rng) {
 
 std::vector<FlowPair> one_to_many_tm(int hosts, int flows_per_host,
                                      Rng& rng) {
-  assert(flows_per_host < hosts);
+  MPSIM_CHECK(flows_per_host < hosts,
+              "cannot pick flows_per_host distinct peers");
   std::vector<FlowPair> tm;
   tm.reserve(static_cast<std::size_t>(hosts) * flows_per_host);
   for (int h = 0; h < hosts; ++h) {

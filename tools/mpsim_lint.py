@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the mptcp simulator.
+
+Enforces simulator rules that clang-tidy cannot express. All rules apply to
+src/ (the simulation library); tests and benches may do what they like.
+
+Rules
+-----
+pool-discipline     Packets are pool-allocated: no `new Packet` / `delete`
+                    or malloc/free outside src/net/packet.cpp. Per-packet
+                    heap churn breaks the pool's conservation ledger and
+                    the perf model.
+determinism-clock   No wall-clock reads (std::chrono, time(), clock(),
+                    gettimeofday) in simulation code: results must be a
+                    pure function of the seed. src/runner/ is exempt (it
+                    measures host wall time for RunMetrics, never feeds it
+                    back into simulations).
+determinism-rand    All randomness flows through the seeded mpsim::Rng: no
+                    rand()/srand(), std::random_device, or <random> engines
+                    outside src/core/rng.*.
+mutable-global      No mutable namespace-scope or static-member state:
+                    simulations run concurrently on worker threads, so
+                    shared mutable state is a data race. std::atomic and
+                    thread_local declarations are allowed; so is anything
+                    const/constexpr.
+simtime-discipline  SimTime values are built with from_ns/us/ms/sec(), not
+                    hand-scaled unit factors (`static_cast<SimTime>(x *
+                    1e9)`): hand-scaling is where ns/us confusions breed.
+                    core/time.hpp itself is exempt.
+no-bare-assert      Use MPSIM_CHECK instead of assert() in src/: bare
+                    asserts vanish in RelWithDebInfo, the tier-1 test
+                    configuration, silently un-checking the invariant.
+
+Suppression: append `// mpsim-lint: allow(<rule>)` to the offending line.
+
+Usage: tools/mpsim_lint.py [--root DIR] [PATHS...]
+Exits non-zero if any finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_GLOBS = ("*.cpp", "*.hpp", "*.h")
+
+ALLOW_RE = re.compile(r"//\s*mpsim-lint:\s*allow\(([\w\-,\s]+)\)")
+
+# Strip string literals and comments before matching so rule regexes cannot
+# fire on prose. (Line comments are kept for ALLOW_RE, handled separately.)
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def code_of(line: str) -> str:
+    """The matchable portion of a line: no strings, no comments."""
+    return LINE_COMMENT_RE.sub("", STRING_RE.sub('""', line))
+
+
+def allowed_rules(line: str) -> set[str]:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def in_block_comment_map(lines: list[str]) -> list[bool]:
+    """lines[i] -> True if line i is (wholly) inside a /* */ block."""
+    out = []
+    depth = 0
+    for raw in lines:
+        out.append(depth > 0)
+        stripped = LINE_COMMENT_RE.sub("", raw)
+        depth += stripped.count("/*") - stripped.count("*/")
+        depth = max(depth, 0)
+    return out
+
+
+# --- individual rules ----------------------------------------------------
+
+# `delete` must be followed by an operand ( `= delete;` declarations are not
+# deallocations).
+POOL_RE = re.compile(
+    r"\bnew\s+Packet\b|\bdelete\s*(?:\[\s*\]\s*)?[\w(*&]"
+    r"|\bmalloc\s*\(|\bfree\s*\(")
+CLOCK_RE = re.compile(
+    r"std::chrono|steady_clock|system_clock|high_resolution_clock"
+    r"|\bgettimeofday\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+    r"|\bclock\s*\(\s*\)"
+)
+RAND_RE = re.compile(
+    r"\brand\s*\(|\bsrand\s*\(|std::random_device|std::mt19937"
+    r"|std::minstd_rand|std::default_random_engine|std::uniform_int_distribution"
+    r"|std::uniform_real_distribution"
+)
+ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+SIMTIME_CAST_RE = re.compile(
+    r"(static_cast<\s*SimTime\s*>|\bSimTime\s*\()[^;]*\b1e[369]\b", re.DOTALL
+)
+
+DECL_KEYWORDS = (
+    "class", "struct", "enum", "union", "using", "typedef", "template",
+    "namespace", "extern", "friend", "public", "private", "protected",
+    "return", "if", "for", "while", "switch", "case", "default", "do",
+    "else", "static_assert", "inline namespace",
+)
+
+
+def check_regex_rule(path: Path, lines: list[str], in_block: list[bool],
+                     rule: str, regex: re.Pattern, message: str,
+                     findings: list[Finding]) -> None:
+    for i, raw in enumerate(lines, start=1):
+        if in_block[i - 1] or rule in allowed_rules(raw):
+            continue
+        if regex.search(code_of(raw)):
+            findings.append(Finding(path, i, rule, message))
+
+
+def check_simtime_rule(path: Path, lines: list[str],
+                       findings: list[Finding]) -> None:
+    # Join each line with its two successors: the offending casts span
+    # statements that clang-format wraps across up to three lines.
+    for i in range(len(lines)):
+        if "simtime-discipline" in allowed_rules(lines[i]):
+            continue
+        window = " ".join(code_of(l) for l in lines[i:i + 3])
+        m = SIMTIME_CAST_RE.search(window)
+        # Only report when the cast starts on THIS line (avoid duplicates).
+        if m and SIMTIME_CAST_RE.match(window, pos=window.find(m.group(1))) \
+                and m.group(1) in code_of(lines[i]):
+            findings.append(Finding(
+                path, i + 1, "simtime-discipline",
+                "build SimTime with from_ns/us/ms/sec(), not raw 1e3/1e6/1e9 "
+                "unit factors"))
+
+
+def check_mutable_global(path: Path, lines: list[str], in_block: list[bool],
+                         findings: list[Finding]) -> None:
+    for i, raw in enumerate(lines, start=1):
+        if in_block[i - 1] or "mutable-global" in allowed_rules(raw):
+            continue
+        line = code_of(raw).rstrip()
+        if not line or raw[:1].isspace():  # namespace scope only
+            continue
+        stripped = line.strip()
+        first_word = re.split(r"[\s<:&*]+", stripped, maxsplit=1)[0]
+        if first_word in DECL_KEYWORDS or stripped.startswith(("#", "}", "//")):
+            continue
+        # A variable definition at namespace scope: `type name = ...;`,
+        # `type name{...};`, `type Class::member = ...;` — but not a
+        # function (those have a parameter list before any initializer).
+        decl = re.match(
+            r"^(?:static\s+)?(?:thread_local\s+)?[\w:<>,\s*&]+?"
+            r"[\w:]+\s*(=|\{[^()]*\}\s*;|;\s*$)", stripped)
+        if not decl:
+            continue
+        paren = stripped.find("(")
+        init = stripped.find(decl.group(1))
+        if paren != -1 and paren < init:
+            continue  # function declaration/definition
+        if re.search(r"\bconst\b|\bconstexpr\b|\bconsteval\b", stripped):
+            continue
+        if "std::atomic" in stripped or "thread_local" in stripped:
+            continue  # race-free by construction
+        findings.append(Finding(
+            path, i, "mutable-global",
+            "mutable namespace-scope state races across parallel "
+            "simulations; use per-EventList services, std::atomic, or "
+            "thread_local"))
+
+
+def lint_file(path: Path, findings: list[Finding]) -> None:
+    rel = path.as_posix()
+    lines = path.read_text().splitlines()
+    in_block = in_block_comment_map(lines)
+
+    if not rel.endswith("net/packet.cpp"):
+        check_regex_rule(path, lines, in_block, "pool-discipline", POOL_RE,
+                         "packets are pool-allocated; use Packet::alloc() / "
+                         "release()", findings)
+    if "/runner/" not in rel:
+        check_regex_rule(path, lines, in_block, "determinism-clock", CLOCK_RE,
+                         "no wall-clock reads in simulation code; results "
+                         "must be a pure function of the seed", findings)
+    if "core/rng" not in rel:
+        check_regex_rule(path, lines, in_block, "determinism-rand", RAND_RE,
+                         "all randomness must flow through the seeded "
+                         "mpsim::Rng", findings)
+    check_regex_rule(path, lines, in_block, "no-bare-assert", ASSERT_RE,
+                     "use MPSIM_CHECK (active in RelWithDebInfo) instead of "
+                     "assert()", findings)
+    if not rel.endswith("core/time.hpp"):
+        check_simtime_rule(path, lines, findings)
+    check_mutable_global(path, lines, in_block, findings)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script's dir)")
+    args = ap.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    targets = [Path(p) for p in args.paths] if args.paths else [root / "src"]
+
+    files: list[Path] = []
+    for t in targets:
+        if t.is_dir():
+            for g in SOURCE_GLOBS:
+                files.extend(sorted(t.rglob(g)))
+        elif t.exists():
+            files.append(t)
+        else:
+            print(f"mpsim_lint: no such path: {t}", file=sys.stderr)
+            return 2
+
+    findings: list[Finding] = []
+    for f in files:
+        lint_file(f, findings)
+
+    for fi in findings:
+        print(fi)
+    if findings:
+        print(f"\nmpsim_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"mpsim_lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
