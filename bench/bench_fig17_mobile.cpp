@@ -19,8 +19,10 @@
 namespace mpsim {
 namespace {
 
-void run() {
+void run(trace::SinkKind trace_kind) {
   EventList events;
+  // Recorder first: the radios/connections below bind to it at construction.
+  bench::BenchTrace bt(events, trace_kind, "fig17_mobile");
   topo::Network net(events);
   bench::WirelessClient radio(net);
 
@@ -57,6 +59,14 @@ void run() {
 
   stats::Table table({"t (min)", "TCP-WiFi", "TCP-3G", "MP-WiFi sub",
                       "MP-3G sub", "MP total"});
+  // The Fig. 17 columns as trace series: one kGoodput record per column per
+  // half-minute interval, alongside the packet-level records the topology
+  // emits on its own.
+  const std::uint16_t sid_tw = bt.series("goodput/tcp-wifi");
+  const std::uint16_t sid_tg = bt.series("goodput/tcp-3g");
+  const std::uint16_t sid_mw = bt.series("goodput/mp-wifi");
+  const std::uint16_t sid_mg = bt.series("goodput/mp-3g");
+  const std::uint16_t sid_mt = bt.series("goodput/mp-total");
   for (double minute = 0.5; minute <= 12.0; minute += 0.5) {
     const std::uint64_t w0 = tcp_wifi->delivered_pkts();
     const std::uint64_t g0 = tcp_3g->delivered_pkts();
@@ -71,20 +81,32 @@ void run() {
     const double mg =
         stats::pkts_to_mbps(mp.subflow(1).packets_acked() - m1, dt);
     table.add_row(stats::fmt_double(minute, 1), {tw, tg, mw, mg, mw + mg}, 2);
+    trace::TraceRecorder* rec = bt.recorder();
+    MPSIM_TRACE(rec, trace::goodput_sample(events.now(), sid_tw,
+                                           tcp_wifi->flow_id(), 0, tw));
+    MPSIM_TRACE(rec, trace::goodput_sample(events.now(), sid_tg,
+                                           tcp_3g->flow_id(), 0, tg));
+    MPSIM_TRACE(rec, trace::goodput_sample(events.now(), sid_mw, mp.flow_id(),
+                                           0, mw));
+    MPSIM_TRACE(rec, trace::goodput_sample(events.now(), sid_mg, mp.flow_id(),
+                                           1, mg));
+    MPSIM_TRACE(rec, trace::goodput_sample(events.now(), sid_mt, mp.flow_id(),
+                                           0, mw + mg));
   }
   table.print();
+  bt.write();
 }
 
 }  // namespace
 }  // namespace mpsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpsim;
   bench::banner(
       "Fig. 17 / §5: mobile walk — WiFi outage at minute 9, recovery 10.5",
       "multipath total stays positive through the outage by shifting to "
       "3G, then rapidly reclaims the new WiFi basestation");
-  run();
+  run(bench::trace_sink_arg(argc, argv));
   std::printf(
       "\nexpected shape: MP-WiFi column collapses during [9.0, 10.5] while "
       "MP-3G picks up; after 11.0 MP-WiFi recovers without restarting the "

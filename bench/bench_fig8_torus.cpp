@@ -25,8 +25,12 @@ struct Result {
   double jain;
 };
 
-Result run(const cc::CongestionControl& algo, double cap_c) {
+Result run(const cc::CongestionControl& algo, double cap_c,
+           trace::SinkKind trace_kind, const std::string& combo) {
   EventList events;
+  // One trace file per algorithm x capacity combination, named
+  // trace_fig8_torus_<algo>_c<cap>.<ext>.
+  bench::BenchTrace bt(events, trace_kind, "fig8_torus_" + combo);
   topo::Network net(events);
   topo::Torus torus(net, {1000, 1000, cap_c, 1000, 1000});
   bench::GoodputMeter meter(events);
@@ -55,14 +59,16 @@ Result run(const cc::CongestionControl& algo, double cap_c) {
   const double pc = torus.queue(2).loss_rate();
   r.loss_ratio_ac = pc > 0 ? pa / pc : 0.0;
   r.jain = stats::jain_index(meter.mbps());
+  bt.write();
   return r;
 }
 
 }  // namespace
 }  // namespace mpsim
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mpsim;
+  const auto trace_kind = bench::trace_sink_arg(argc, argv);
   bench::banner(
       "Fig. 8 / §3: torus loss-rate balance, shrinking link C",
       "y = p_A/p_C; 1.0 = perfectly balanced. COUPLED best, EWTCP worst, "
@@ -86,7 +92,9 @@ int main() {
   for (double cap : {100.0, 250.0, 500.0, 750.0, 1000.0}) {
     std::vector<double> row;
     for (std::size_t a = 0; a < 4; ++a) {
-      const Result r = run(*algos[a].algo, cap);
+      const Result r =
+          run(*algos[a].algo, cap, trace_kind,
+              std::string(algos[a].name) + "_c" + stats::fmt_double(cap, 0));
       row.push_back(r.loss_ratio_ac);
       if (cap == 100.0) jain_at_100[a] = r.jain;
     }

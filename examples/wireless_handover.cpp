@@ -9,6 +9,9 @@
 // "switch interfaces by killing connections" heuristics cannot do.
 //
 // Run: ./wireless_handover
+// With MPSIM_TRACE=csv the run also writes trace_wireless_handover.csv —
+// every cwnd sample, rate change, reinjection and drop of the handover,
+// ready for plotting (see README "Flight recorder").
 #include <cstdio>
 
 #include "cc/mptcp_lia.hpp"
@@ -16,10 +19,16 @@
 #include "net/variable_rate_queue.hpp"
 #include "stats/monitors.hpp"
 #include "topo/network.hpp"
+#include "trace/sinks.hpp"
+#include "trace/trace.hpp"
 
 int main() {
   using namespace mpsim;
   EventList events;
+  const trace::SinkKind trace_kind = trace::sink_from_env();
+  if (trace_kind != trace::SinkKind::kNone) {
+    trace::TraceRecorder::install(events, trace::config_from_env());
+  }
   topo::Network net(events);
 
   // WiFi: 14.4 Mb/s, 20 ms RTT, shallow buffer.
@@ -62,5 +71,17 @@ int main() {
               static_cast<unsigned long long>(conn.receiver().delivered()),
               static_cast<unsigned long long>(conn.receiver().duplicates()),
               static_cast<unsigned long long>(conn.subflow(0).timeouts()));
+
+  if (const trace::TraceRecorder* rec = trace::TraceRecorder::find(events)) {
+    auto sink = trace::make_sink(trace_kind);
+    rec->flush(*sink);
+    const std::string path =
+        std::string("trace_wireless_handover") +
+        trace::sink_extension(trace_kind);
+    if (trace::write_text_file(path, sink->text())) {
+      std::printf("trace written to %s (%llu records)\n", path.c_str(),
+                  static_cast<unsigned long long>(rec->total_records()));
+    }
+  }
   return 0;
 }

@@ -23,10 +23,32 @@ EventList::EventList(SchedulerKind kind) {
   if (kind == SchedulerKind::kWheel) wheel_ = std::make_unique<TimingWheel>();
 }
 
-EventList::Service& EventList::attach_service(std::unique_ptr<Service> s) {
-  MPSIM_CHECK(!service_, "simulation service already attached");
-  service_ = std::move(s);
-  return *service_;
+EventList::Service& EventList::attach_service(std::size_t slot,
+                                              std::unique_ptr<Service> s) {
+  MPSIM_CHECK(slot < kServiceSlots, "service slot out of range");
+  MPSIM_CHECK(!services_[slot], "simulation service already attached");
+  services_[slot] = std::move(s);
+  return *services_[slot];
+}
+
+std::size_t EventList::cancel(const EventSource& src) {
+  if (wheel_) return wheel_->cancel(&src);
+  // The heap gives no in-place removal; drain, filter, and re-heapify.
+  // Entries keep their original (time, seq) keys, so dispatch order of the
+  // survivors is unchanged.
+  std::vector<Entry> keep;
+  keep.reserve(heap_.size());
+  std::size_t removed = 0;
+  while (!heap_.empty()) {
+    if (heap_.top().src == &src) {
+      ++removed;
+    } else {
+      keep.push_back(heap_.top());
+    }
+    heap_.pop();
+  }
+  heap_ = decltype(heap_)(std::greater<>(), std::move(keep));
+  return removed;
 }
 
 void EventList::schedule_at(EventSource& src, SimTime t) {

@@ -13,16 +13,20 @@
 // kAuto resolves from the MPSIM_SCHEDULER environment variable ("wheel" or
 // "heap"), defaulting to the wheel.
 //
-// Cancellation is lazy: a source that no longer wants a pending wake-up simply
-// ignores the callback (sources track their own next valid deadline). This
-// keeps the queue free of tombstone bookkeeping on the hot path.
+// Cancellation is lazy on the hot path: a source that no longer wants a
+// pending wake-up simply ignores the callback (sources track their own next
+// valid deadline). This keeps the queue free of tombstone bookkeeping where
+// it matters. For teardown — an EventSource about to be destroyed while
+// wake-ups for it are still queued — cancel() eagerly removes every pending
+// entry for the source; it is O(pending) and meant for cold paths only.
 //
 // An EventList is also the identity of one simulation instance: per-run
-// services (the packet pool, see net::PacketPool) attach to it instead of
-// living in globals, so independent simulations can run concurrently on
-// separate threads.
+// services (the packet pool, see net::PacketPool; the flight recorder, see
+// trace::TraceRecorder) attach to it instead of living in globals, so
+// independent simulations can run concurrently on separate threads.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <queue>
@@ -84,6 +88,12 @@ class EventList {
     schedule_at(src, now_ + dt);
   }
 
+  // Eagerly remove every pending wake-up for `src` and return how many were
+  // dropped. O(pending events) on either backend — this is the teardown
+  // path for sources whose lifetime ends before the simulation's (periodic
+  // samplers, short-lived monitors), not a hot-path primitive.
+  std::size_t cancel(const EventSource& src);
+
   bool empty() const { return wheel_ ? wheel_->empty() : heap_.empty(); }
   std::size_t pending() const {
     return wheel_ ? wheel_->size() : heap_.size();
@@ -100,16 +110,33 @@ class EventList {
   // Run until no events remain.
   void run_all();
 
+  // Allocate the next flow id for a connection built on this simulation.
+  // Per-EventList (not process-global) so ids — which appear in packets,
+  // receiver demux tables and trace files — depend only on construction
+  // order within the run, never on how parallel runner jobs interleave.
+  std::uint32_t alloc_flow_id() { return next_flow_id_++; }
+
   // --- per-simulation services ------------------------------------------
   // A service is owned by the EventList and lives exactly as long as the
-  // simulation instance. The packet pool (net::PacketPool) is the sole
-  // service today; it attaches itself lazily on first allocation.
+  // simulation instance. Each service type owns one fixed slot; the slot
+  // constants live here so every simulation agrees on the layout (the
+  // alternative — a run-time type registry — would make slot assignment
+  // depend on attach order and cost a lookup on hot paths).
+  //   kPacketPoolSlot     net::PacketPool, attached lazily on first alloc.
+  //   kTraceRecorderSlot  trace::TraceRecorder, attached explicitly by
+  //                       TraceRecorder::install() before the topology is
+  //                       built (instrumented objects capture the pointer
+  //                       at construction).
   class Service {
    public:
     virtual ~Service() = default;
   };
-  Service* service() const { return service_.get(); }
-  Service& attach_service(std::unique_ptr<Service> s);
+  static constexpr std::size_t kPacketPoolSlot = 0;
+  static constexpr std::size_t kTraceRecorderSlot = 1;
+  static constexpr std::size_t kServiceSlots = 2;
+
+  Service* service(std::size_t slot) const { return services_[slot].get(); }
+  Service& attach_service(std::size_t slot, std::unique_ptr<Service> s);
 
  private:
   struct Entry {
@@ -124,10 +151,11 @@ class EventList {
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unique_ptr<TimingWheel> wheel_;  // non-null iff the wheel backend
-  std::unique_ptr<Service> service_;
+  std::array<std::unique_ptr<Service>, kServiceSlots> services_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint32_t next_flow_id_ = 1;
 };
 
 }  // namespace mpsim

@@ -113,6 +113,50 @@ TimingWheel::Entry TimingWheel::pop() {
   return e;
 }
 
+std::size_t TimingWheel::cancel(const EventSource* src) {
+  std::size_t removed = 0;
+  for (int lv = 0; lv < kLevels; ++lv) {
+    Level& level = levels_[static_cast<std::size_t>(lv)];
+    for (int idx = 0; idx < kSlots; ++idx) {
+      Slot& s = level.slots[static_cast<std::size_t>(idx)];
+      if (s.entries.empty()) continue;
+      // Only the pending suffix [head, end) may be touched; [0, head) of a
+      // mid-drain level-0 slot was already dispatched. Erasing preserves
+      // relative order, so the `sorted` flag remains valid.
+      const auto pending_begin = s.entries.begin() + s.head;
+      const auto it = std::remove_if(
+          pending_begin, s.entries.end(),
+          [src](const Entry& e) { return e.src == src; });
+      const auto n = static_cast<std::size_t>(s.entries.end() - it);
+      if (n == 0) continue;
+      s.entries.erase(it, s.entries.end());
+      removed += n;
+      if (s.head == s.entries.size()) {
+        s.entries.clear();
+        s.head = 0;
+        s.sorted = false;
+        unmark(level, idx);
+      }
+    }
+  }
+  wheel_size_ -= removed;
+  if (!overflow_.empty()) {
+    std::vector<Entry> keep;
+    keep.reserve(overflow_.size());
+    while (!overflow_.empty()) {
+      if (overflow_.top().src == src) {
+        ++removed;
+      } else {
+        keep.push_back(overflow_.top());
+      }
+      overflow_.pop();
+    }
+    overflow_ = decltype(overflow_)(EntryGreater(), std::move(keep));
+  }
+  size_ -= removed;
+  return removed;
+}
+
 bool TimingWheel::pop_if_before(SimTime limit, Entry& out) {
   if (size_ == 0) return false;
   const auto lim = static_cast<std::uint64_t>(limit);

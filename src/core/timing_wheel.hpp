@@ -65,6 +65,11 @@ class TimingWheel {
   // afterwards.
   bool pop_if_before(SimTime limit, Entry& out);
 
+  // Remove every pending entry whose source is `src`; returns how many were
+  // dropped. O(total entries) — a full sweep over every slot and the
+  // overflow heap — so strictly a teardown/cold-path operation.
+  std::size_t cancel(const EventSource* src);
+
  private:
   // 2^11-slot levels keep sub-2-us timers (pipe hops, queue drains) on
   // level 0 — inserted and popped with zero cascades — while three levels

@@ -9,10 +9,6 @@
 
 namespace mpsim::mptcp {
 
-// Atomic: connections are constructed concurrently by parallel
-// ExperimentRunner jobs; ids only need to be unique, not dense.
-std::atomic<std::uint32_t> MptcpConnection::next_flow_id_{1};
-
 MptcpConnection::MptcpConnection(EventList& events, std::string name,
                                  const cc::CongestionControl& cc,
                                  ConnectionConfig cfg)
@@ -20,10 +16,20 @@ MptcpConnection::MptcpConnection(EventList& events, std::string name,
       events_(events),
       cc_(cc),
       cfg_(cfg),
-      flow_id_(next_flow_id_.fetch_add(1, std::memory_order_relaxed)),
+      flow_id_(events.alloc_flow_id()),
       scheduler_(cfg.app_limit_pkts, cfg.recv_buffer_pkts),
       receiver_(events, EventSource::name() + "/rx", flow_id_,
-                cfg.recv_buffer_pkts) {}
+                cfg.recv_buffer_pkts) {
+  trace_ = trace::TraceRecorder::find(events);
+  if (trace_ != nullptr) {
+    trace_id_ = trace_->register_object(EventSource::name());
+    // Reinjection decisions happen inside the scheduler (which owns the
+    // dedup); give it its own object id so those records are attributable.
+    scheduler_.set_trace(
+        &events_, trace_,
+        trace_->register_object(EventSource::name() + "/sched"), flow_id_);
+  }
+}
 
 tcp::Subflow& MptcpConnection::add_subflow(
     const std::vector<net::PacketSink*>& fwd_path,
@@ -101,6 +107,9 @@ void MptcpConnection::on_data_ack(std::uint64_t data_cum_ack,
   if (scheduler_.data_cum_ack() > last_data_cum_) {
     last_data_cum_ = scheduler_.data_cum_ack();
     last_data_advance_ = events_.now();
+    MPSIM_TRACE(trace_,
+                trace::data_ack(events_.now(), trace_id_, flow_id_,
+                                last_data_cum_, scheduler_.right_edge()));
   }
   if (scheduler_.complete() && !completion_fired_) {
     completion_fired_ = true;

@@ -18,7 +18,6 @@
 // UNCOUPLED algorithm (to which every coupled algorithm reduces at n = 1).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -137,7 +136,9 @@ class MptcpConnection : public tcp::SubflowHost,
   SimTime last_hol_reinject_ = 0;
   std::uint64_t hol_reinjections_ = 0;
 
-  static std::atomic<std::uint32_t> next_flow_id_;
+  // Flight recorder, cached at construction (nullptr = tracing off).
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint16_t trace_id_ = 0;
 };
 
 // Convenience: a regular single-path TCP (one subflow, UNCOUPLED).

@@ -11,7 +11,10 @@ MptcpReceiver::MptcpReceiver(EventList& events, std::string name,
     : EventSource(std::move(name)),
       events_(events),
       flow_id_(flow_id),
-      capacity_(buffer_pkts) {}
+      capacity_(buffer_pkts) {
+  trace_ = trace::TraceRecorder::find(events);
+  if (trace_ != nullptr) trace_id_ = trace_->register_object(this->name());
+}
 
 void MptcpReceiver::add_subflow(const net::Route& ack_route) {
   SubflowRx rx;
@@ -82,6 +85,9 @@ void MptcpReceiver::receive(net::Packet& pkt) {
               "shared receive buffer overflow (6 deadlock-avoidance bound)");
   MPSIM_CHECK(app_read_seq_ <= rcv_nxt_data_,
               "application cannot read past the in-order edge");
+  MPSIM_TRACE(trace_, trace::rcv_buffer(events_.now(), trace_id_, flow_id_,
+                                        buffer_occupancy(),
+                                        advertised_window()));
   send_ack(pkt);
   // Perfectly in-order traffic under delayed ACKs may leave one segment
   // pending; anything else was acked immediately inside send_ack.

@@ -26,6 +26,7 @@
 
 #include "core/event_list.hpp"
 #include "net/packet.hpp"
+#include "trace/trace.hpp"
 
 namespace mpsim::mptcp {
 
@@ -124,6 +125,10 @@ class MptcpReceiver : public net::PacketSink, public EventSource {
   std::uint64_t window_violations_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t window_updates_sent_ = 0;
+
+  // Flight recorder, cached at construction (nullptr = tracing off).
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint16_t trace_id_ = 0;
 };
 
 }  // namespace mpsim::mptcp

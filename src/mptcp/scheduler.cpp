@@ -33,10 +33,18 @@ void DataScheduler::on_data_ack(std::uint64_t data_cum_ack,
 }
 
 void DataScheduler::reinject(const std::vector<std::uint64_t>& data_seqs) {
+  std::uint64_t accepted = 0;
+  std::uint64_t first = 0;
   for (std::uint64_t seq : data_seqs) {
     if (seq < data_cum_ack_) continue;
     if (!reinject_pending_.insert(seq).second) continue;  // already queued
     reinject_q_.push_back(seq);
+    if (accepted == 0) first = seq;
+    ++accepted;
+  }
+  if (accepted > 0) {
+    MPSIM_TRACE(trace_, trace::reinject(trace_events_->now(), trace_id_,
+                                        trace_flow_, accepted, first));
   }
 }
 

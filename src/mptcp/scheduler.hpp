@@ -15,6 +15,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/event_list.hpp"
+#include "trace/trace.hpp"
+
 namespace mpsim::mptcp {
 
 class DataScheduler {
@@ -40,6 +43,19 @@ class DataScheduler {
   // Already-acked and already-queued sequences are skipped.
   void reinject(const std::vector<std::uint64_t>& data_seqs);
 
+  // Wire the owning connection's flight recorder in. The scheduler has no
+  // clock of its own, so it borrows the connection's EventList for record
+  // timestamps; kReinject records are emitted here (not in the connection)
+  // because this is where duplicate suppression decides what is actually
+  // queued.
+  void set_trace(EventList* events, trace::TraceRecorder* rec,
+                 std::uint16_t trace_id, std::uint32_t flow_id) {
+    trace_events_ = events;
+    trace_ = rec;
+    trace_id_ = trace_id;
+    trace_flow_ = flow_id;
+  }
+
   std::uint64_t data_cum_ack() const { return data_cum_ack_; }
   std::uint64_t next_new() const { return next_new_; }
   std::uint64_t right_edge() const { return right_edge_; }
@@ -58,6 +74,13 @@ class DataScheduler {
   std::uint64_t data_cum_ack_ = 0;
   std::deque<std::uint64_t> reinject_q_;
   std::unordered_set<std::uint64_t> reinject_pending_;
+
+  // Flight recorder wiring (set_trace); trace_ != nullptr implies
+  // trace_events_ != nullptr.
+  EventList* trace_events_ = nullptr;
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint16_t trace_id_ = 0;
+  std::uint32_t trace_flow_ = 0;
 };
 
 }  // namespace mpsim::mptcp

@@ -9,8 +9,10 @@
 
 #include <string>
 
+#include "core/event_list.hpp"
 #include "core/rng.hpp"
 #include "net/packet.hpp"
+#include "trace/trace.hpp"
 
 namespace mpsim::net {
 
@@ -19,10 +21,24 @@ class LossyLink : public PacketSink {
   LossyLink(std::string name, double loss_prob, std::uint64_t seed)
       : name_(std::move(name)), loss_prob_(loss_prob), rng_(seed) {}
 
+  // EventList-aware overload: registers with the simulation's flight
+  // recorder (if installed) so random drops show up in traces as kLinkDrop
+  // — distinguishable from congestive queue drops.
+  LossyLink(EventList& events, std::string name, double loss_prob,
+            std::uint64_t seed)
+      : LossyLink(std::move(name), loss_prob, seed) {
+    events_ = &events;
+    trace_ = trace::TraceRecorder::find(events);
+    if (trace_ != nullptr) trace_id_ = trace_->register_object(name_);
+  }
+
   void receive(Packet& pkt) override {
     ++arrivals_;
     if (rng_.chance(loss_prob_)) {
       ++drops_;
+      MPSIM_TRACE(trace_,
+                  trace::link_drop(events_->now(), trace_id_, pkt.flow_id,
+                                   pkt.subflow_id, pkt.size_bytes));
       pkt.release();
       return;
     }
@@ -42,6 +58,12 @@ class LossyLink : public PacketSink {
   Rng rng_;
   std::uint64_t arrivals_ = 0;
   std::uint64_t drops_ = 0;
+
+  // Set only by the EventList-aware constructor; trace_ != nullptr implies
+  // events_ != nullptr, and MPSIM_TRACE's guard keeps the dereference safe.
+  EventList* events_ = nullptr;
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint16_t trace_id_ = 0;
 };
 
 }  // namespace mpsim::net

@@ -37,17 +37,18 @@ void PacketPool::release(Packet& p) {
 }
 
 PacketPool& PacketPool::of(EventList& events) {
-  // The pool is the only service type ever attached to an EventList, so the
-  // downcast is safe by construction.
-  if (EventList::Service* s = events.service()) {
+  // kPacketPoolSlot holds a PacketPool or nothing, so the downcast is safe
+  // by construction.
+  if (EventList::Service* s = events.service(EventList::kPacketPoolSlot)) {
     return *static_cast<PacketPool*>(s);
   }
-  return static_cast<PacketPool&>(
-      events.attach_service(std::make_unique<PacketPool>()));
+  return static_cast<PacketPool&>(events.attach_service(
+      EventList::kPacketPoolSlot, std::make_unique<PacketPool>()));
 }
 
 PacketPool* PacketPool::find(const EventList& events) {
-  return static_cast<PacketPool*>(events.service());
+  return static_cast<PacketPool*>(
+      events.service(EventList::kPacketPoolSlot));
 }
 
 void Packet::reset() {

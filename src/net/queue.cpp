@@ -13,6 +13,10 @@ Queue::Queue(EventList& events, std::string name, double rate_bps,
       rate_bps_(rate_bps),
       max_bytes_(max_bytes) {
   MPSIM_CHECK(rate_bps_ > 0, "queue service rate must be positive");
+  trace_ = trace::TraceRecorder::find(events);
+  if (trace_ != nullptr) {
+    trace_id_ = trace_->register_object(EventSource::name());
+  }
 }
 
 void Queue::receive(Packet& pkt) {
@@ -21,11 +25,17 @@ void Queue::receive(Packet& pkt) {
   ++arrivals_;
   if (queued_bytes_ + pkt.size_bytes > max_bytes_) {
     ++drops_;
+    MPSIM_TRACE(trace_,
+                trace::queue_drop(events_.now(), trace_id_, pkt.flow_id,
+                                  pkt.subflow_id, queued_bytes_,
+                                  pkt.size_bytes));
     pkt.release();
     return;
   }
   queued_bytes_ += pkt.size_bytes;
   fifo_.push_back(&pkt);
+  MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
+                                          queued_bytes_, queued_packets()));
   if (!busy_) start_service();
 }
 
@@ -52,6 +62,8 @@ void Queue::on_event() {
   queued_bytes_ -= pkt->size_bytes;
   ++departures_;
   bytes_forwarded_ += pkt->size_bytes;
+  MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
+                                          queued_bytes_, queued_packets()));
   if (!fifo_.empty()) start_service();
   pkt->advance();
 }

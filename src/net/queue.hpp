@@ -13,6 +13,7 @@
 
 #include "core/event_list.hpp"
 #include "net/packet.hpp"
+#include "trace/trace.hpp"
 
 namespace mpsim::net {
 
@@ -61,6 +62,10 @@ class Queue : public PacketSink, public EventSource {
   std::uint64_t drops_ = 0;
   std::uint64_t departures_ = 0;
   std::uint64_t bytes_forwarded_ = 0;
+
+  // Flight recorder, cached at construction (nullptr = tracing off).
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint16_t trace_id_ = 0;
 };
 
 }  // namespace mpsim::net

@@ -16,11 +16,17 @@ void VariableRateQueue::receive(Packet& pkt) {
   ++arrivals_;
   if (queued_bytes_ + pkt.size_bytes > max_bytes_) {
     ++drops_;
+    MPSIM_TRACE(trace_,
+                trace::queue_drop(events_.now(), trace_id_, pkt.flow_id,
+                                  pkt.subflow_id, queued_bytes_,
+                                  pkt.size_bytes));
     pkt.release();
     return;
   }
   queued_bytes_ += pkt.size_bytes;
   fifo_.push_back(&pkt);
+  MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
+                                          queued_bytes_, queued_packets()));
   if (!busy_ && rate_bps_ > 0.0) {
     start_service();
     fraction_done_ = 0.0;
@@ -43,6 +49,7 @@ void VariableRateQueue::set_rate(double rate_bps) {
     fraction_as_of_ = now;
   }
   rate_bps_ = rate_bps;
+  MPSIM_TRACE(trace_, trace::rate_change(now, trace_id_, rate_bps_));
   if (busy_) {
     reschedule_head();
   } else if (rate_bps_ > 0.0 && !fifo_.empty()) {
@@ -73,6 +80,8 @@ void VariableRateQueue::on_event() {
   queued_bytes_ -= pkt->size_bytes;
   ++departures_;
   bytes_forwarded_ += pkt->size_bytes;
+  MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
+                                          queued_bytes_, queued_packets()));
   if (!fifo_.empty() && rate_bps_ > 0.0) {
     start_service();
     fraction_done_ = 0.0;

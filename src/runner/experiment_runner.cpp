@@ -20,6 +20,20 @@ struct WorkDeque {
   std::mutex mu;
 };
 
+// Run names ("fig8/lia seed=3") become file names; anything the filesystem
+// might object to collapses to '_'. Distinct names can collide after
+// sanitising — callers name runs, so they own uniqueness.
+std::string sanitize_for_filename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                    c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
 }  // namespace
 
 unsigned ExperimentRunner::hardware_threads() {
@@ -40,6 +54,11 @@ std::vector<RunResult> ExperimentRunner::run_all() {
 
   auto exec = [&](std::size_t idx) {
     RunContext ctx(jobs_[idx].first, cfg_.scheduler);
+    if (cfg_.trace_sink != trace::SinkKind::kNone) {
+      trace::TraceRecorder::Config tc;
+      if (cfg_.trace_capacity > 0) tc.capacity = cfg_.trace_capacity;
+      trace::TraceRecorder::install(ctx.events(), tc);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     jobs_[idx].second(ctx);
     const auto t1 = std::chrono::steady_clock::now();
@@ -47,6 +66,19 @@ std::vector<RunResult> ExperimentRunner::run_all() {
     RunResult& r = results[idx];
     r.name = ctx.name();
     r.values = ctx.values();
+    if (cfg_.trace_sink != trace::SinkKind::kNone) {
+      // Flush after the job returns (never during the run) on whichever
+      // worker ran it; the recorder and file are private to this run, so
+      // the bytes depend only on the simulation, not the schedule.
+      const trace::TraceRecorder* rec =
+          trace::TraceRecorder::find(ctx.events());
+      auto sink = trace::make_sink(cfg_.trace_sink);
+      rec->flush(*sink);
+      const std::string path = cfg_.trace_dir + "/trace_" +
+                               sanitize_for_filename(ctx.name()) +
+                               trace::sink_extension(cfg_.trace_sink);
+      if (trace::write_text_file(path, sink->text())) r.trace_path = path;
+    }
     r.metrics.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     r.metrics.events_processed = ctx.events().events_processed();
     r.metrics.events_per_sec =

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/event_list.hpp"
+#include "trace/sinks.hpp"
+#include "trace/trace.hpp"
 
 namespace mpsim::runner {
 
@@ -62,6 +64,10 @@ struct RunResult {
   std::string name;
   RunMetrics metrics;
   std::vector<std::pair<std::string, double>> values;
+  // Path of this run's trace file ("" when tracing is off or the write
+  // failed). Files are named from the run name alone, so contents and names
+  // are byte-identical across thread counts.
+  std::string trace_path;
 
   double value(const std::string& key, double fallback = 0.0) const {
     for (const auto& [k, v] : values) {
@@ -74,6 +80,15 @@ struct RunResult {
 struct RunnerConfig {
   unsigned threads = 0;  // 0 => hardware concurrency; 1 => run on the caller
   SchedulerKind scheduler = SchedulerKind::kAuto;  // for every job's EventList
+  // Flight-recorder emission. kNone = off. Otherwise every job gets a
+  // recorder installed before it runs, and its trace is flushed to
+  // `trace_dir`/trace_<run-name><ext> after the job returns (run names are
+  // sanitised for the filesystem; the flush happens on the worker thread but
+  // each file is private to its run, so output is byte-identical whatever
+  // the thread count).
+  trace::SinkKind trace_sink = trace::SinkKind::kNone;
+  std::string trace_dir = ".";
+  std::size_t trace_capacity = 0;  // 0 => TraceRecorder::Config default
 };
 
 class ExperimentRunner {

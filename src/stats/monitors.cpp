@@ -1,5 +1,7 @@
 #include "stats/monitors.hpp"
 
+#include "core/check.hpp"
+
 namespace mpsim::stats {
 
 PeriodicSampler::PeriodicSampler(EventList& events, std::string name,
@@ -10,15 +12,26 @@ PeriodicSampler::PeriodicSampler(EventList& events, std::string name,
       interval_(interval),
       fn_(std::move(fn)) {}
 
+PeriodicSampler::~PeriodicSampler() { stop(); }
+
 void PeriodicSampler::start(SimTime at) {
+  MPSIM_CHECK(!running_, "PeriodicSampler::start while already running");
   running_ = true;
   events_.schedule_at(*this, at);
 }
 
+void PeriodicSampler::stop() {
+  running_ = false;
+  // Eager, not lazy: the wake-up must not outlive this object (the event
+  // list would dispatch a dangling pointer) and must not keep a
+  // run-until-empty loop ticking on a sampler that does nothing.
+  events_.cancel(*this);
+}
+
 void PeriodicSampler::on_event() {
-  if (!running_) return;
   fn_(events_.now());
-  events_.schedule_in(*this, interval_);
+  // fn_ may have called stop(); rescheduling would silently restart it.
+  if (running_) events_.schedule_in(*this, interval_);
 }
 
 CounterSeries::CounterSeries(EventList& events, std::string name,
@@ -39,8 +52,13 @@ double CounterSeries::mean_rate() const {
   if (points_.empty()) return 0.0;
   std::uint64_t total = 0;
   for (const auto& p : points_) total += p.delta;
-  return static_cast<double>(total) /
-         to_sec(interval_ * static_cast<SimTime>(points_.size()));
+  // Each point covers the span since the previous sample, so the series
+  // spans (first.t - interval_, last.t]. Deriving elapsed from the recorded
+  // timestamps — instead of interval_ * count — keeps the rate correct when
+  // the sampler was stopped and restarted (the first post-restart delta
+  // covers the gap) and cannot overflow SimTime on long runs.
+  const SimTime elapsed = points_.back().t - points_.front().t + interval_;
+  return static_cast<double>(total) / to_sec(elapsed);
 }
 
 double pkts_to_mbps(std::uint64_t pkts, SimTime elapsed) {

@@ -18,9 +18,16 @@ class PeriodicSampler : public EventSource {
  public:
   PeriodicSampler(EventList& events, std::string name, SimTime interval,
                   std::function<void(SimTime)> fn);
+  // Cancels any pending wake-up: a sampler may be destroyed while armed
+  // without leaving a dangling EventSource* in the event list.
+  ~PeriodicSampler() override;
 
   void start(SimTime at);
-  void stop() { running_ = false; }
+  // Eagerly removes the pending wake-up, so a stopped sampler cannot keep a
+  // run-until-empty simulation alive. Safe to call from inside the sampling
+  // callback (the tick in progress will not reschedule) and when idle.
+  void stop();
+  bool running() const { return running_; }
   void on_event() override;
 
  private:
@@ -48,7 +55,9 @@ class CounterSeries {
   const std::vector<Point>& points() const { return points_; }
   SimTime interval() const { return interval_; }
 
-  // Mean rate over the recorded points, in counts/second.
+  // Mean rate over the recorded points, in counts/second. Computed from the
+  // first/last sample timestamps (not interval * count), so it stays correct
+  // across stop()/start() gaps and cannot overflow SimTime for long runs.
   double mean_rate() const;
 
   // Convenience for data-packet counters: Mb/s assuming kDataPacketBytes.

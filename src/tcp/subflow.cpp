@@ -20,7 +20,15 @@ Subflow::Subflow(EventList& events, std::string name, SubflowHost& host,
       cfg_(cfg),
       cwnd_(cfg.init_cwnd),
       ssthresh_(cfg.init_ssthresh),
-      rtt_(cfg.min_rto, cfg.max_rto) {}
+      rtt_(cfg.min_rto, cfg.max_rto) {
+  // The recorder must be installed before the topology is built; a subflow
+  // constructed earlier records nothing (by design: one branch, no lookup,
+  // on every hot path below).
+  trace_ = trace::TraceRecorder::find(events);
+  if (trace_ != nullptr) {
+    trace_id_ = trace_->register_object(EventSource::name());
+  }
+}
 
 void Subflow::set_cwnd(double w) {
   cwnd_ = w;
@@ -109,6 +117,10 @@ void Subflow::handle_ack(net::Packet& ack) {
         cwnd_ = ssthresh_;
         clamp_cwnd();
         arm_rto();
+        MPSIM_TRACE(trace_, trace::state_transition(
+                                events_.now(), trace_id_, flow_id_,
+                                subflow_id_, trace::TcpPhase::kFastRecovery,
+                                phase()));
       } else {
         // NewReno partial ACK: retransmit the next hole, deflate by the
         // amount acked (keeping the one retransmission in flight).
@@ -167,6 +179,9 @@ void Subflow::handle_ack(net::Packet& ack) {
   // (Duplicate ACKs and later partial ACKs deliberately do NOT restart an
   // armed timer — otherwise a long dupack stream keeps the RTO at bay
   // forever and a stalled recovery can never escape.)
+  MPSIM_TRACE(trace_, trace::cwnd_sample(events_.now(), trace_id_, flow_id_,
+                                         subflow_id_, phase(), cwnd_,
+                                         ssthresh_, rtt_.srtt(), rtt_.rto()));
   try_send();
   check_invariants();
   host_.on_subflow_progress(subflow_id_);
@@ -188,6 +203,7 @@ void Subflow::check_invariants() const {
 
 void Subflow::enter_recovery() {
   const bool in_slow_start = cwnd_ < ssthresh_;
+  const trace::TcpPhase from = phase();
   ssthresh_ =
       std::max(cfg_.min_cwnd, host_.window_after_loss(subflow_id_));
   recover_ = snd_nxt_;  // dupacks below this must not re-trigger (RFC 6582)
@@ -200,6 +216,9 @@ void Subflow::enter_recovery() {
     snd_nxt_ = snd_una_;
     in_recovery_ = false;
     dupacks_ = 0;
+    MPSIM_TRACE(trace_, trace::state_transition(events_.now(), trace_id_,
+                                                flow_id_, subflow_id_, from,
+                                                phase()));
     arm_rto();
     try_send();
     return;
@@ -207,13 +226,22 @@ void Subflow::enter_recovery() {
   cwnd_ = ssthresh_ + static_cast<double>(cfg_.dupack_threshold);
   clamp_cwnd();
   in_recovery_ = true;
-  recover_ = snd_nxt_;
+  MPSIM_TRACE(trace_, trace::state_transition(events_.now(), trace_id_,
+                                              flow_id_, subflow_id_, from,
+                                              trace::TcpPhase::kFastRecovery));
   if (snd_una_ < high_water_) send_packet(snd_una_, true);
 }
 
 void Subflow::arm_rto() {
+  // Saturate the exponential backoff before comparing against max_rto:
+  // `rtt_.rto() << shift` is evaluated first, and for a large base RTO even
+  // shift <= 16 overflows the signed SimTime (UB, and the wrapped negative
+  // value would win the std::min and put the deadline in the past).
   const int shift = std::min(backoff_, 16);
-  const SimTime rto = std::min<SimTime>(cfg_.max_rto, rtt_.rto() << shift);
+  const SimTime base = rtt_.rto();
+  const SimTime rto = (base > (cfg_.max_rto >> shift))
+                          ? cfg_.max_rto
+                          : std::min<SimTime>(cfg_.max_rto, base << shift);
   rto_deadline_ = events_.now() + rto;
   rto_armed_ = true;
   if (next_fire_ == kNever || next_fire_ > rto_deadline_) {
@@ -242,6 +270,9 @@ void Subflow::on_event() {
   // from the inflated cwnd would wildly overshoot.
   ++timeouts_;
   ++loss_events_;
+  MPSIM_TRACE(trace_, trace::state_transition(events_.now(), trace_id_,
+                                              flow_id_, subflow_id_, phase(),
+                                              trace::TcpPhase::kRtoRecovery));
   if (!in_recovery_) {
     ssthresh_ =
         std::max(cfg_.min_cwnd, host_.window_after_loss(subflow_id_));

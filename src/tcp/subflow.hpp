@@ -27,6 +27,7 @@
 #include "core/event_list.hpp"
 #include "net/packet.hpp"
 #include "tcp/rtt_estimator.hpp"
+#include "trace/trace.hpp"
 
 namespace mpsim::tcp {
 
@@ -135,6 +136,12 @@ class Subflow : public net::PacketSink, public EventSource {
   void cancel_rto() { rto_armed_ = false; }
   void clamp_cwnd();
   void check_invariants() const;
+  // Current sender phase, as the flight recorder labels it.
+  trace::TcpPhase phase() const {
+    if (in_recovery_) return trace::TcpPhase::kFastRecovery;
+    return cwnd_ < ssthresh_ ? trace::TcpPhase::kSlowStart
+                             : trace::TcpPhase::kCongestionAvoidance;
+  }
 
   EventList& events_;
   SubflowHost& host_;
@@ -176,6 +183,10 @@ class Subflow : public net::PacketSink, public EventSource {
   std::uint64_t retransmits_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t loss_events_ = 0;
+
+  // Flight recorder, cached at construction (nullptr = tracing off).
+  trace::TraceRecorder* trace_ = nullptr;
+  std::uint16_t trace_id_ = 0;
 };
 
 }  // namespace mpsim::tcp

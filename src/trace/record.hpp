@@ -1,0 +1,201 @@
+// The flight recorder's record schema.
+//
+// One Record is a fixed-size POD cell: a timestamp, a type tag, the ids of
+// the object/flow/subflow it describes, and a small typed payload (two
+// integers, two reals). Fixed size keeps the ring buffer a flat
+// preallocated array — appending is a bump-and-store, never an allocation —
+// and gives every sink (CSV, JSONL) the same column set.
+//
+// Payload conventions per type (everything else zero):
+//   kCwnd       a=srtt ns, b=rto ns, x=cwnd pkts, y=ssthresh pkts,
+//               phase=current TcpPhase
+//   kState      a=from TcpPhase, phase=to TcpPhase
+//   kQueue      a=queued bytes, b=queued packets
+//   kQueueDrop  a=queued bytes at drop, b=dropped packet bytes
+//   kLinkDrop   b=dropped packet bytes (random, not congestive)
+//   kRate       x=new link rate, bits/s
+//   kDataAck    a=data-level cumulative ACK, b=flow-control right edge
+//   kRcvBuf     a=buffer occupancy pkts, b=advertised window pkts
+//   kReinject   a=data seqs queued for reinjection, b=first such seq
+//   kGoodput    x=delivered goodput since the last sample, Mb/s
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.hpp"
+
+namespace mpsim::trace {
+
+enum class RecordType : std::uint8_t {
+  kCwnd = 0,   // subflow congestion state sample (per processed ACK)
+  kState,      // subflow phase transition (loss reaction, recovery exit)
+  kQueue,      // queue occupancy after an enqueue or departure
+  kQueueDrop,  // drop-tail loss
+  kLinkDrop,   // random (non-congestive) loss on a LossyLink
+  kRate,       // VariableRateQueue rate change (outage = 0)
+  kDataAck,    // MPTCP data-level cumulative ACK advanced
+  kRcvBuf,     // receiver shared-buffer occupancy sample
+  kReinject,   // data seqs queued for reinjection on sibling subflows
+  kGoodput,    // periodic delivered-goodput sample (bench harness)
+};
+inline constexpr int kRecordTypeCount = 10;
+
+// Sender phases, as the paper's Fig. 5-style cwnd plots label them.
+enum class TcpPhase : std::uint8_t {
+  kSlowStart = 0,
+  kCongestionAvoidance,
+  kFastRecovery,   // NewReno dupack recovery
+  kRtoRecovery,    // timeout + go-back-N
+};
+
+// Stable lowercase names, used by the CSV/JSONL sinks and the schema
+// validator (tools/check_trace_schema.py must list the same set).
+const char* record_type_name(RecordType t);
+const char* tcp_phase_name(TcpPhase p);
+
+struct Record {
+  SimTime t = 0;
+  RecordType type = RecordType::kCwnd;
+  std::uint8_t phase = 0;   // TcpPhase payload where applicable
+  std::uint16_t obj = 0;    // recorder-registered object id
+  std::uint32_t flow = 0;   // connection id, 0 = none
+  std::uint32_t sub = 0;    // subflow id within the connection
+  std::uint64_t a = 0;      // integer payload
+  std::uint64_t b = 0;      // integer payload
+  double x = 0.0;           // real payload
+  double y = 0.0;           // real payload
+};
+
+// --- builders -------------------------------------------------------------
+// One per record type, so instrumentation sites read as prose and cannot
+// mix up payload slots. Builders are cheap but not free; call them only
+// inside MPSIM_TRACE's enabled branch.
+
+inline Record cwnd_sample(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                          std::uint32_t sub, TcpPhase phase, double cwnd,
+                          double ssthresh, SimTime srtt, SimTime rto) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kCwnd;
+  r.phase = static_cast<std::uint8_t>(phase);
+  r.obj = obj;
+  r.flow = flow;
+  r.sub = sub;
+  r.a = static_cast<std::uint64_t>(srtt);
+  r.b = static_cast<std::uint64_t>(rto);
+  r.x = cwnd;
+  r.y = ssthresh;
+  return r;
+}
+
+inline Record state_transition(SimTime t, std::uint16_t obj,
+                               std::uint32_t flow, std::uint32_t sub,
+                               TcpPhase from, TcpPhase to) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kState;
+  r.phase = static_cast<std::uint8_t>(to);
+  r.obj = obj;
+  r.flow = flow;
+  r.sub = sub;
+  r.a = static_cast<std::uint64_t>(from);
+  return r;
+}
+
+inline Record queue_sample(SimTime t, std::uint16_t obj,
+                           std::uint64_t queued_bytes,
+                           std::uint64_t queued_pkts) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kQueue;
+  r.obj = obj;
+  r.a = queued_bytes;
+  r.b = queued_pkts;
+  return r;
+}
+
+inline Record queue_drop(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                         std::uint32_t sub, std::uint64_t queued_bytes,
+                         std::uint64_t pkt_bytes) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kQueueDrop;
+  r.obj = obj;
+  r.flow = flow;
+  r.sub = sub;
+  r.a = queued_bytes;
+  r.b = pkt_bytes;
+  return r;
+}
+
+inline Record link_drop(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                        std::uint32_t sub, std::uint64_t pkt_bytes) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kLinkDrop;
+  r.obj = obj;
+  r.flow = flow;
+  r.sub = sub;
+  r.b = pkt_bytes;
+  return r;
+}
+
+inline Record rate_change(SimTime t, std::uint16_t obj, double rate_bps) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kRate;
+  r.obj = obj;
+  r.x = rate_bps;
+  return r;
+}
+
+inline Record data_ack(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                       std::uint64_t cum_ack, std::uint64_t right_edge) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kDataAck;
+  r.obj = obj;
+  r.flow = flow;
+  r.a = cum_ack;
+  r.b = right_edge;
+  return r;
+}
+
+inline Record rcv_buffer(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                         std::uint64_t occupancy, std::uint64_t advertised) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kRcvBuf;
+  r.obj = obj;
+  r.flow = flow;
+  r.a = occupancy;
+  r.b = advertised;
+  return r;
+}
+
+inline Record reinject(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                       std::uint64_t count, std::uint64_t first_seq) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kReinject;
+  r.obj = obj;
+  r.flow = flow;
+  r.a = count;
+  r.b = first_seq;
+  return r;
+}
+
+inline Record goodput_sample(SimTime t, std::uint16_t obj,
+                             std::uint32_t flow, std::uint32_t sub,
+                             double mbps) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kGoodput;
+  r.obj = obj;
+  r.flow = flow;
+  r.sub = sub;
+  r.x = mbps;
+  return r;
+}
+
+}  // namespace mpsim::trace

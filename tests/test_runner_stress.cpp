@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,10 +99,13 @@ TEST(RunnerStress, ContendedSweepsAreByteIdentical) {
   }
 }
 
-TEST(RunnerStress, FlowIdsUniqueAcrossConcurrentConnections) {
-  // Flow ids come from one shared atomic counter; concurrent construction
-  // must never hand out duplicates (a duplicate would cross-deliver packets
-  // between connections and trip the receiver's flow-id check).
+TEST(RunnerStress, FlowIdsDeterministicUnderConcurrency) {
+  // Flow ids are allocated per-EventList: within one simulation they are
+  // unique (a duplicate would cross-deliver packets between connections and
+  // trip the receiver's flow-id check), and across runner jobs they depend
+  // only on construction order inside the job — never on which worker
+  // thread ran it or how many jobs ran before. Each job here builds three
+  // connections and must observe ids 1, 2, 3 exactly.
   RunnerConfig cfg;
   cfg.threads = 8;
   ExperimentRunner r(cfg);
@@ -109,22 +113,30 @@ TEST(RunnerStress, FlowIdsUniqueAcrossConcurrentConnections) {
   for (int k = 0; k < kJobs; ++k) {
     r.add("ids" + std::to_string(k), [](RunContext& ctx) {
       topo::Network net(ctx.events());
-      auto link = net.add_link("l", 8e6, from_ms(1), 64000);
-      auto& ack = net.add_pipe("a", from_ms(1));
-      auto tcp = mptcp::make_single_path_tcp(ctx.events(), "t",
-                                             topo::path_of({&link}), {&ack});
-      tcp->start(0);
+      std::vector<std::unique_ptr<mptcp::MptcpConnection>> conns;
+      for (int c = 0; c < 3; ++c) {
+        auto link = net.add_link("l" + std::to_string(c), 8e6, from_ms(1),
+                                 64000);
+        auto& ack = net.add_pipe("a" + std::to_string(c), from_ms(1));
+        auto tcp = mptcp::make_single_path_tcp(
+            ctx.events(), "t" + std::to_string(c), topo::path_of({&link}),
+            {&ack});
+        tcp->start(0);
+        conns.push_back(std::move(tcp));
+      }
       ctx.events().run_until(from_ms(50));
-      ctx.record("flow_id", static_cast<double>(tcp->flow_id()));
+      for (std::size_t c = 0; c < conns.size(); ++c) {
+        ctx.record("flow_id" + std::to_string(c),
+                   static_cast<double>(conns[c]->flow_id()));
+      }
     });
   }
   const auto results = r.run_all();
-  std::vector<double> ids;
-  ids.reserve(results.size());
-  for (const auto& res : results) ids.push_back(res.value("flow_id"));
-  std::sort(ids.begin(), ids.end());
-  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
-      << "duplicate flow id handed out under concurrency";
+  for (const auto& res : results) {
+    EXPECT_EQ(res.value("flow_id0"), 1.0) << res.name;
+    EXPECT_EQ(res.value("flow_id1"), 2.0) << res.name;
+    EXPECT_EQ(res.value("flow_id2"), 3.0) << res.name;
+  }
 }
 
 }  // namespace

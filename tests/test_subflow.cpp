@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "cc/uncoupled.hpp"
+#include "core/check.hpp"
 #include "mptcp/connection.hpp"
 #include "sim_fixtures.hpp"
 #include "stats/monitors.hpp"
@@ -146,6 +147,35 @@ TEST(Subflow, BackoffDoublesRtoDuringPersistentOutage) {
   // in 29 s rather than ~145 at a constant 200 ms.
   EXPECT_GE(timeouts, 3u);
   EXPECT_LE(timeouts, 12u);
+}
+
+// Regression: arm_rto() computed `rtt_.rto() << shift` before clamping to
+// max_rto. With a large base RTO a backoff shift of only 3 overflows signed
+// SimTime (UB); the wrapped-negative value won the std::min against max_rto
+// and put the retransmission deadline in the past. The shift is now
+// saturated against max_rto before it is applied.
+TEST(Subflow, RtoBackoffSaturatesInsteadOfOverflowing) {
+  ScopedThrowingChecks guard;  // a past-deadline schedule becomes a throw
+  EventList events;
+  topo::Network net(events);
+  auto& vq = net.add_variable_queue("v", 10e6, 100 * net::kDataPacketBytes);
+  auto& pipe = net.add_pipe("p", from_ms(5));
+  auto& ack = net.add_pipe("a", from_ms(5));
+  // Base RTO pinned at 2e18 ns: 2e18 << 3 wraps negative in int64. The
+  // clamp must instead hold every backed-off RTO at max_rto.
+  constexpr SimTime kHugeRto = 2'000'000'000'000'000'000;
+  ConnectionConfig cfg;
+  cfg.subflow.min_rto = kHugeRto;
+  cfg.subflow.max_rto = kHugeRto;
+  auto tcp = mptcp::make_single_path_tcp(events, "t", {&vq, &pipe}, {&ack},
+                                         cfg);
+  tcp->start(0);
+  vq.set_rate(0.0);  // blackhole from the first transmission: RTOs only
+  // Timeouts land at 1x, 2x, 3x kHugeRto (saturated — not 1x, 3x, 7x
+  // doubled). Pre-fix, arming after the third timeout computes a negative
+  // RTO and trips "cannot schedule in the past".
+  EXPECT_NO_THROW(events.run_until(7 * (kHugeRto / 2)));
+  EXPECT_EQ(tcp->subflow(0).timeouts(), 3u);
 }
 
 TEST(Subflow, CompletionCallbackFires) {

@@ -30,6 +30,12 @@ simtime-discipline  SimTime values are built with from_ns/us/ms/sec(), not
 no-bare-assert      Use MPSIM_CHECK instead of assert() in src/: bare
                     asserts vanish in RelWithDebInfo, the tier-1 test
                     configuration, silently un-checking the invariant.
+trace-discipline    Instrumentation sites go through the MPSIM_TRACE macro,
+                    never TraceRecorder::append_unchecked() directly: the
+                    macro is the single place carrying the null-recorder
+                    check and the [[unlikely]] hint, so a bare call either
+                    crashes when tracing is off or silently de-optimises
+                    the hot path. src/trace/ itself is exempt.
 
 Suppression: append `// mpsim-lint: allow(<rule>)` to the offending line.
 
@@ -107,6 +113,7 @@ RAND_RE = re.compile(
     r"|std::uniform_real_distribution"
 )
 ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+TRACE_APPEND_RE = re.compile(r"\bappend_unchecked\s*\(")
 SIMTIME_CAST_RE = re.compile(
     r"(static_cast<\s*SimTime\s*>|\bSimTime\s*\()[^;]*\b1e[369]\b", re.DOTALL
 )
@@ -202,6 +209,12 @@ def lint_file(path: Path, findings: list[Finding]) -> None:
     check_regex_rule(path, lines, in_block, "no-bare-assert", ASSERT_RE,
                      "use MPSIM_CHECK (active in RelWithDebInfo) instead of "
                      "assert()", findings)
+    if "/trace/" not in rel:
+        check_regex_rule(path, lines, in_block, "trace-discipline",
+                         TRACE_APPEND_RE,
+                         "record through MPSIM_TRACE(recorder, builder); a "
+                         "direct append_unchecked() skips the null-recorder "
+                         "guard", findings)
     if not rel.endswith("core/time.hpp"):
         check_simtime_rule(path, lines, findings)
     check_mutable_global(path, lines, in_block, findings)
