@@ -90,7 +90,10 @@ int main() {
   rcfg.threads = bench::env_threads();
   runner::ExperimentRunner exp(rcfg);
   for (int i = 0; i < 3; ++i) {
-    exp.add(names[i], [&dists, &algos, i](runner::RunContext& ctx) {
+    exp.add(names[i], [&dists, &algos, &names, i](runner::RunContext& ctx) {
+      ctx.annotate("algorithm", names[i]);
+      ctx.annotate("topology", "fat_tree_k8");
+      ctx.annotate("traffic", "permutation_tp1");
       dists[static_cast<std::size_t>(i)] = run(ctx.events(), algos[i]);
       const Dist& d = dists[static_cast<std::size_t>(i)];
       ctx.record("jain_index", stats::jain_index(d.flow_mbps));

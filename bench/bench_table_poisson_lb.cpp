@@ -109,6 +109,8 @@ int main() {
     const std::uint64_t seed = 99 + static_cast<std::uint64_t>(k);
     exp.add("seed" + std::to_string(seed),
             [&per_seed, k, seed](runner::RunContext& ctx) {
+              ctx.annotate("arrival_seed", std::to_string(seed));
+              ctx.annotate("traffic", "poisson_pareto_200kB");
               const Result r = run(ctx.events(), seed);
               per_seed[static_cast<std::size_t>(k)] = r;
               ctx.record("mptcp_mbps", r.mptcp);

@@ -78,38 +78,19 @@ DcResult run_dc(EventList& events, PathProvider&& provider, int hosts,
   return result;
 }
 
-// (fwd, rev) path pairs for one connection.
-using PathPair = std::pair<topo::Path, topo::Path>;
+// (fwd, rev) path pairs for one connection. The sampling lives in
+// src/topo (shared with the scenario engine, so spec-driven runs pick
+// byte-identical paths); these wrappers keep the historical bench names.
+using PathPair = topo::PathPair;
 
 inline std::vector<PathPair> fattree_paths(topo::FatTree& ft, int src,
                                            int dst, int n, Rng& rng) {
-  std::vector<PathPair> out;
-  for (auto& p : ft.sample_paths(src, dst, n, rng)) {
-    auto rev = ft.ack_path(p);
-    out.emplace_back(std::move(p), std::move(rev));
-  }
-  return out;
+  return topo::sample_path_pairs(ft, src, dst, n, rng);
 }
 
 inline std::vector<PathPair> bcube_paths(topo::BCube& bc, int src, int dst,
                                          int n, Rng& rng) {
-  std::vector<PathPair> out;
-  if (n <= 1) {
-    // Single-path TCP uses BCube's standard shortest route (digit
-    // correction); for one-digit neighbours that is the direct one-hop
-    // path, never a detour through a relay host.
-    auto p = bc.single_path(src, dst);
-    auto ack = bc.ack_path(p);
-    out.emplace_back(std::move(p), std::move(ack));
-    (void)rng;
-    return out;
-  }
-  auto all = bc.paths(src, dst, rng);
-  for (int i = 0; i < n && i < static_cast<int>(all.size()); ++i) {
-    out.emplace_back(all[static_cast<std::size_t>(i)],
-                     bc.ack_path(all[static_cast<std::size_t>(i)]));
-  }
-  return out;
+  return topo::sample_path_pairs(bc, src, dst, n, rng);
 }
 
 }  // namespace mpsim::bench

@@ -7,13 +7,14 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cc/congestion_control.hpp"
+#include "core/env.hpp"
 #include "core/event_list.hpp"
+#include "stats/goodput.hpp"
 #include "json_report.hpp"
 #include "mptcp/connection.hpp"
 #include "runner/experiment_runner.hpp"
@@ -30,30 +31,18 @@ namespace mpsim::bench {
 // whole harness 5x faster (noisier numbers), =1 is the default reported
 // configuration.
 inline double time_scale() {
-  if (const char* s = std::getenv("MPSIM_BENCH_SCALE")) {
-    const double v = std::atof(s);
-    if (v > 0.0) return v;
-  }
-  return 1.0;
+  return env::env_double("MPSIM_BENCH_SCALE", 1.0, 0.0);
 }
 
 // MPSIM_THREADS caps the ExperimentRunner thread pool for multi-run benches
 // (0 = hardware concurrency; 1 = fully sequential).
 inline unsigned env_threads() {
-  if (const char* s = std::getenv("MPSIM_THREADS")) {
-    const long v = std::atol(s);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
-  return 0;
+  return static_cast<unsigned>(env::env_int("MPSIM_THREADS", 0, 0, 1 << 20));
 }
 
 // MPSIM_SEEDS sets how many seeds a multi-seed bench sweeps.
 inline int env_seeds(int fallback) {
-  if (const char* s = std::getenv("MPSIM_SEEDS")) {
-    const long v = std::atol(s);
-    if (v > 0) return static_cast<int>(v);
-  }
-  return fallback;
+  return static_cast<int>(env::env_int("MPSIM_SEEDS", fallback, 1, 1 << 20));
 }
 
 inline SimTime scaled(double seconds) {
@@ -114,47 +103,9 @@ class BenchTrace {
 };
 
 // Measure the delivered goodput of each connection between warmup and end.
-class GoodputMeter {
- public:
-  explicit GoodputMeter(EventList& events) : events_(events) {}
-
-  void track(const mptcp::MptcpConnection& conn) { conns_.push_back(&conn); }
-
-  void mark() {
-    t0_ = events_.now();
-    base_.clear();
-    for (const auto* c : conns_) base_.push_back(c->delivered_pkts());
-  }
-
-  // Per-connection Mb/s since mark(). A zero-length measurement window
-  // (mark() at measurement end, or mark() never called after time advanced)
-  // yields 0.0 per connection rather than a NaN/inf rate.
-  std::vector<double> mbps() const {
-    std::vector<double> out;
-    const SimTime elapsed = events_.now() - t0_;
-    if (elapsed <= 0) {
-      out.assign(conns_.size(), 0.0);
-      return out;
-    }
-    for (std::size_t i = 0; i < conns_.size(); ++i) {
-      out.push_back(stats::pkts_to_mbps(
-          conns_[i]->delivered_pkts() - base_[i], elapsed));
-    }
-    return out;
-  }
-
-  double total_mbps() const {
-    double total = 0.0;
-    for (double v : mbps()) total += v;
-    return total;
-  }
-
- private:
-  EventList& events_;
-  std::vector<const mptcp::MptcpConnection*> conns_;
-  std::vector<std::uint64_t> base_;
-  SimTime t0_ = 0;
-};
+// Lives in the library now (stats/goodput.hpp) so the scenario engine
+// meters exactly the way the benches do.
+using GoodputMeter = stats::GoodputMeter;
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -1,186 +1,24 @@
 // Machine-readable bench results.
 //
-// Every ported bench writes a BENCH_<name>.json file next to its textual
-// tables so the performance trajectory (events/sec, wall time, per-run
-// statistics) can be tracked across PRs without parsing stdout. The Json
-// value type is a deliberately tiny ordered tree — numbers, strings,
-// objects, arrays — with no external dependency.
+// The Json value type and report writers moved into the library so the
+// scenario CLI shares them: stats/json.hpp (the value type) and
+// runner/report.hpp (result -> Json, BENCH_*.json writer). This header
+// keeps the bench-local names working.
 #pragma once
 
-#include <cmath>
-#include <cstdint>
-#include <cstdio>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "runner/experiment_runner.hpp"
+#include "runner/report.hpp"
+#include "stats/json.hpp"
 
 namespace mpsim::bench {
 
-class Json {
- public:
-  static Json number(double v) {
-    Json j(Kind::kNumber);
-    j.num_ = v;
-    return j;
-  }
-  static Json str(std::string v) {
-    Json j(Kind::kString);
-    j.str_ = std::move(v);
-    return j;
-  }
-  static Json object() { return Json(Kind::kObject); }
-  static Json array() { return Json(Kind::kArray); }
+using Json = stats::Json;
 
-  // Object members (insertion-ordered).
-  Json& set(const std::string& key, Json v) {
-    members_.emplace_back(key, std::move(v));
-    return *this;
-  }
-  Json& set(const std::string& key, double v) {
-    return set(key, number(v));
-  }
-  Json& set(const std::string& key, const std::string& v) {
-    return set(key, str(v));
-  }
-  Json& set(const std::string& key, const char* v) {
-    return set(key, str(v));
-  }
-
-  // Array items.
-  Json& push(Json v) {
-    items_.push_back(std::move(v));
-    return *this;
-  }
-  Json& push(double v) { return push(number(v)); }
-
-  static Json array_of(const std::vector<double>& vs) {
-    Json a = array();
-    for (double v : vs) a.push(v);
-    return a;
-  }
-
-  std::string dump(int indent = 0) const {
-    std::string out;
-    write(out, indent);
-    return out;
-  }
-
- private:
-  enum class Kind { kNumber, kString, kObject, kArray };
-
-  explicit Json(Kind k) : kind_(k) {}
-
-  static void append_escaped(std::string& out, const std::string& s) {
-    out += '"';
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    out += '"';
-  }
-
-  static void append_number(std::string& out, double v) {
-    if (!std::isfinite(v)) {  // JSON has no inf/nan; emit null
-      out += "null";
-      return;
-    }
-    char buf[40];
-    if (v == std::floor(v) && std::fabs(v) < 1e15) {
-      std::snprintf(buf, sizeof buf, "%.0f", v);
-    } else {
-      std::snprintf(buf, sizeof buf, "%.10g", v);
-    }
-    out += buf;
-  }
-
-  void write(std::string& out, int indent) const {
-    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-    const std::string pad1(static_cast<std::size_t>(indent + 1) * 2, ' ');
-    switch (kind_) {
-      case Kind::kNumber:
-        append_number(out, num_);
-        break;
-      case Kind::kString:
-        append_escaped(out, str_);
-        break;
-      case Kind::kObject: {
-        if (members_.empty()) {
-          out += "{}";
-          break;
-        }
-        out += "{\n";
-        for (std::size_t i = 0; i < members_.size(); ++i) {
-          out += pad1;
-          append_escaped(out, members_[i].first);
-          out += ": ";
-          members_[i].second.write(out, indent + 1);
-          if (i + 1 < members_.size()) out += ',';
-          out += '\n';
-        }
-        out += pad + "}";
-        break;
-      }
-      case Kind::kArray: {
-        if (items_.empty()) {
-          out += "[]";
-          break;
-        }
-        out += "[\n";
-        for (std::size_t i = 0; i < items_.size(); ++i) {
-          out += pad1;
-          items_[i].write(out, indent + 1);
-          if (i + 1 < items_.size()) out += ',';
-          out += '\n';
-        }
-        out += pad + "]";
-        break;
-      }
-    }
-  }
-
-  Kind kind_;
-  double num_ = 0.0;
-  std::string str_;
-  std::vector<std::pair<std::string, Json>> members_;
-  std::vector<Json> items_;
-};
-
-// One runner result as a Json object: name, recorded values, run metrics.
-inline Json json_from_result(const runner::RunResult& r) {
-  Json o = Json::object();
-  o.set("name", r.name);
-  for (const auto& [k, v] : r.values) o.set(k, v);
-  Json m = Json::object();
-  m.set("wall_seconds", r.metrics.wall_seconds);
-  m.set("events_processed", static_cast<double>(r.metrics.events_processed));
-  m.set("events_per_sec", r.metrics.events_per_sec);
-  m.set("peak_pool_packets",
-        static_cast<double>(r.metrics.peak_pool_packets));
-  o.set("metrics", std::move(m));
-  return o;
-}
-
-inline Json json_from_results(const std::vector<runner::RunResult>& rs) {
-  Json a = Json::array();
-  for (const runner::RunResult& r : rs) a.push(json_from_result(r));
-  return a;
-}
+using runner::json_from_result;
+using runner::json_from_results;
 
 // Write BENCH_<bench>.json in the working directory and report the path.
 inline void write_bench_json(const std::string& bench, const Json& root) {
-  const std::string path = "BENCH_" + bench + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-    return;
-  }
-  const std::string body = root.dump();
-  std::fwrite(body.data(), 1, body.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  std::printf("\n[json] wrote %s\n", path.c_str());
+  runner::write_json_file(bench, root);
 }
 
 }  // namespace mpsim::bench

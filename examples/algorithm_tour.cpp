@@ -22,6 +22,7 @@
 #include "cc/mptcp_lia.hpp"
 #include "cc/semicoupled.hpp"
 #include "cc/uncoupled.hpp"
+#include "example_trace.hpp"
 #include "mptcp/connection.hpp"
 #include "stats/monitors.hpp"
 #include "stats/table.hpp"
@@ -44,8 +45,10 @@ const Algo kAlgos[] = {
 
 // Scenario A: shared 12 Mb/s bottleneck, two subflows vs one TCP (Fig. 1).
 // Returns the fraction of the link the multipath flow takes.
-double shared_bottleneck_fraction(const cc::CongestionControl& algo) {
+double shared_bottleneck_fraction(const cc::CongestionControl& algo,
+                                  const std::string& label) {
   EventList events;
+  examples::ExampleTrace et(events, "algorithm_tour_bottleneck_" + label);
   topo::Network net(events);
   auto link = net.add_link("l", 12e6, from_ms(10),
                            topo::bdp_bytes(12e6, from_ms(20)));
@@ -69,8 +72,10 @@ double shared_bottleneck_fraction(const cc::CongestionControl& algo) {
 // Scenario B: WiFi-like (0.5% loss, 20 ms RTT) + 3G-like (0.1% loss,
 // 200 ms RTT) fixed-loss paths. Returns multipath pkt/s and, once, the
 // best single-path reference.
-double rtt_mismatch_rate(const cc::CongestionControl* algo) {
+double rtt_mismatch_rate(const cc::CongestionControl* algo,
+                         const std::string& label) {
   EventList events;
+  examples::ExampleTrace et(events, "algorithm_tour_mismatch_" + label);
   topo::Network net(events);
   auto& wl = net.add_lossy("wl", 0.005, 11);
   auto& wq = net.add_queue("wq", 1e9, 1u << 30);
@@ -106,13 +111,13 @@ int main() {
   std::printf("   few points above that, so <= ~0.6 reads as fair)\n");
   std::printf("B: RTT/loss mismatch (goal: >= best single path)\n\n");
 
-  const double best_single = rtt_mismatch_rate(nullptr);
+  const double best_single = rtt_mismatch_rate(nullptr, "single");
 
   stats::Table table({"algorithm", "A: bottleneck share",
                       "B: pkt/s (vs best single)", "verdict"});
   for (const Algo& a : kAlgos) {
-    const double frac = shared_bottleneck_fraction(*a.cc);
-    const double rate = rtt_mismatch_rate(a.cc);
+    const double frac = shared_bottleneck_fraction(*a.cc, a.name);
+    const double rate = rtt_mismatch_rate(a.cc, a.name);
     const bool fair = frac < 0.62;
     const bool incentive = rate > 0.8 * best_single;
     const char* verdict = fair && incentive ? "passes both"

@@ -15,6 +15,7 @@
 #include "cc/mptcp_lia.hpp"
 #include "cc/uncoupled.hpp"
 #include "core/rng.hpp"
+#include "example_trace.hpp"
 #include "mptcp/connection.hpp"
 #include "stats/monitors.hpp"
 #include "stats/summary.hpp"
@@ -28,6 +29,9 @@ using namespace mpsim;
 
 std::vector<double> run(int k, int npaths, bool multipath) {
   EventList events;
+  examples::ExampleTrace et(
+      events, multipath ? "datacenter_fattree_mptcp"
+                        : "datacenter_fattree_single");
   topo::Network net(events);
   topo::FatTree ft(net, k);
   Rng rng(2026);

@@ -1,0 +1,58 @@
+// Shared flight-recorder plumbing for the examples.
+//
+// Every example honors the MPSIM_TRACE knob (csv|jsonl|null|off) the same
+// way: construct an ExampleTrace immediately after the EventList — before
+// the topology, so instrumented objects bind to the recorder — and the
+// trace is written to trace_<name>.<ext> when the helper goes out of
+// scope (or at an explicit write()), printing the path it wrote.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/event_list.hpp"
+#include "trace/sinks.hpp"
+#include "trace/trace.hpp"
+
+namespace mpsim::examples {
+
+class ExampleTrace {
+ public:
+  ExampleTrace(EventList& events, std::string name)
+      : kind_(trace::sink_from_env()), name_(std::move(name)) {
+    if (kind_ != trace::SinkKind::kNone) {
+      rec_ = &trace::TraceRecorder::install(events, trace::config_from_env());
+    }
+  }
+
+  ExampleTrace(const ExampleTrace&) = delete;
+  ExampleTrace& operator=(const ExampleTrace&) = delete;
+
+  ~ExampleTrace() { write(); }
+
+  // nullptr when tracing is off — pass straight to MPSIM_TRACE.
+  trace::TraceRecorder* recorder() const { return rec_; }
+
+  // Flush to trace_<name><ext> and print the path (idempotent; the
+  // destructor calls this too).
+  void write() {
+    if (rec_ == nullptr || written_) return;
+    written_ = true;
+    auto sink = trace::make_sink(kind_);
+    rec_->flush(*sink);
+    const std::string path =
+        "trace_" + name_ + trace::sink_extension(kind_);
+    if (trace::write_text_file(path, sink->text())) {
+      std::printf("trace written to %s (%llu records)\n", path.c_str(),
+                  static_cast<unsigned long long>(rec_->total_records()));
+    }
+  }
+
+ private:
+  trace::SinkKind kind_;
+  std::string name_;
+  trace::TraceRecorder* rec_ = nullptr;
+  bool written_ = false;
+};
+
+}  // namespace mpsim::examples

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cc/mptcp_lia.hpp"
+#include "example_trace.hpp"
 #include "mptcp/connection.hpp"
 #include "stats/monitors.hpp"
 #include "stats/summary.hpp"
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   const int num_mp = argc > 1 ? std::atoi(argv[1]) : 10;
 
   EventList events;
+  examples::ExampleTrace et(events, "multihomed_server");
   topo::Network net(events);
   topo::LinkSpec spec;
   spec.rate_bps = 100e6;

@@ -15,20 +15,16 @@
 #include <cstdio>
 
 #include "cc/mptcp_lia.hpp"
+#include "example_trace.hpp"
 #include "mptcp/connection.hpp"
 #include "net/variable_rate_queue.hpp"
 #include "stats/monitors.hpp"
 #include "topo/network.hpp"
-#include "trace/sinks.hpp"
-#include "trace/trace.hpp"
 
 int main() {
   using namespace mpsim;
   EventList events;
-  const trace::SinkKind trace_kind = trace::sink_from_env();
-  if (trace_kind != trace::SinkKind::kNone) {
-    trace::TraceRecorder::install(events, trace::config_from_env());
-  }
+  examples::ExampleTrace et(events, "wireless_handover");
   topo::Network net(events);
 
   // WiFi: 14.4 Mb/s, 20 ms RTT, shallow buffer.
@@ -72,16 +68,6 @@ int main() {
               static_cast<unsigned long long>(conn.receiver().duplicates()),
               static_cast<unsigned long long>(conn.subflow(0).timeouts()));
 
-  if (const trace::TraceRecorder* rec = trace::TraceRecorder::find(events)) {
-    auto sink = trace::make_sink(trace_kind);
-    rec->flush(*sink);
-    const std::string path =
-        std::string("trace_wireless_handover") +
-        trace::sink_extension(trace_kind);
-    if (trace::write_text_file(path, sink->text())) {
-      std::printf("trace written to %s (%llu records)\n", path.c_str(),
-                  static_cast<unsigned long long>(rec->total_records()));
-    }
-  }
+  et.write();
   return 0;
 }

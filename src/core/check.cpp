@@ -2,7 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <string_view>
+
+#include "core/env.hpp"
 
 namespace mpsim {
 
@@ -28,8 +29,7 @@ thread_local CheckHandler g_handler = nullptr;
 
 bool checks_enabled() {
   static const bool enabled = [] {
-    const char* v = std::getenv("MPSIM_CHECKS");
-    return v == nullptr || std::string_view(v) != "off";
+    return env::env_choice("MPSIM_CHECKS", "on", {"on", "off"}) != "off";
   }();
   return enabled;
 }

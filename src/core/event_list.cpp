@@ -1,19 +1,15 @@
 #include "core/event_list.hpp"
 
-#include <cstdlib>
-#include <string_view>
-
 #include "core/check.hpp"
+#include "core/env.hpp"
 
 namespace mpsim {
 
 SchedulerKind EventList::default_scheduler() {
   static const SchedulerKind kind = [] {
-    if (const char* s = std::getenv("MPSIM_SCHEDULER")) {
-      if (std::string_view(s) == "heap") return SchedulerKind::kHeap;
-      if (std::string_view(s) == "wheel") return SchedulerKind::kWheel;
-    }
-    return SchedulerKind::kWheel;
+    const std::string s =
+        env::env_choice("MPSIM_SCHEDULER", "wheel", {"wheel", "heap"});
+    return s == "heap" ? SchedulerKind::kHeap : SchedulerKind::kWheel;
   }();
   return kind;
 }

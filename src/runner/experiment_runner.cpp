@@ -66,6 +66,7 @@ std::vector<RunResult> ExperimentRunner::run_all() {
     RunResult& r = results[idx];
     r.name = ctx.name();
     r.values = ctx.values();
+    r.annotations = ctx.annotations();
     if (cfg_.trace_sink != trace::SinkKind::kNone) {
       // Flush after the job returns (never during the run) on whichever
       // worker ran it; the recorder and file are private to this run, so

@@ -54,16 +54,31 @@ class RunContext {
     return values_;
   }
 
+  // Attach a machine-readable string to the result (resolved parameters:
+  // seed, sweep-point values, algorithm name). Kept separate from values()
+  // so numeric post-processing never has to skip non-metrics.
+  void annotate(std::string key, std::string value) {
+    annotations_.emplace_back(std::move(key), std::move(value));
+  }
+  const std::vector<std::pair<std::string, std::string>>& annotations()
+      const {
+    return annotations_;
+  }
+
  private:
   std::string name_;
   EventList events_;
   std::vector<std::pair<std::string, double>> values_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
 };
 
 struct RunResult {
   std::string name;
   RunMetrics metrics;
   std::vector<std::pair<std::string, double>> values;
+  // String annotations from RunContext::annotate(): the resolved-spec echo
+  // (seed, sweep-point parameters) written into per-run JSON.
+  std::vector<std::pair<std::string, std::string>> annotations;
   // Path of this run's trace file ("" when tracing is off or the write
   // failed). Files are named from the run name alone, so contents and names
   // are byte-identical across thread counts.

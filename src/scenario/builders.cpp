@@ -1,0 +1,882 @@
+// Every builtin registry entry, in one translation unit.
+//
+// tools/mpsim_lint.py's registry-discipline rule pins all add_topology /
+// add_algorithm / add_traffic calls to this file and checks the keys are
+// lowercase and unique, so `mpsim list` and the spec grammar can never
+// drift apart or collide.
+//
+// Byte-identity contract: a builder must construct network elements and
+// connections in exactly the order the corresponding bench binary does —
+// element construction order determines names, event ordering and rng
+// draws. Where a bench and the engine share a helper (topo::WirelessClient,
+// topo::sample_path_pairs), identity is structural; elsewhere the order is
+// mirrored by hand and locked by the round-trip tests.
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cc/coupled.hpp"
+#include "cc/ewtcp.hpp"
+#include "cc/mptcp_lia.hpp"
+#include "cc/rfc6356.hpp"
+#include "cc/semicoupled.hpp"
+#include "cc/uncoupled.hpp"
+#include "core/check.hpp"
+#include "net/cbr.hpp"
+#include "net/variable_rate_queue.hpp"
+#include "scenario/registry.hpp"
+#include "topo/bcube.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/network.hpp"
+#include "topo/parking_lot.hpp"
+#include "topo/torus.hpp"
+#include "topo/triangle.hpp"
+#include "topo/two_link.hpp"
+#include "topo/wireless.hpp"
+#include "traffic/poisson_flows.hpp"
+#include "traffic/traffic_matrix.hpp"
+
+namespace mpsim::scenario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Topologies
+// ---------------------------------------------------------------------------
+
+// Truncate a slot's canonical path list to the first n pairs.
+std::vector<topo::PathPair> take(std::vector<topo::PathPair> pairs, int n) {
+  if (n >= 0 && static_cast<std::size_t>(n) < pairs.size()) {
+    pairs.resize(static_cast<std::size_t>(n));
+  }
+  return pairs;
+}
+
+class TwoLinkTopo final : public BuiltTopology {
+ public:
+  TwoLinkTopo(topo::Network& net, const topo::LinkSpec& l1,
+              const topo::LinkSpec& l2)
+      : links_(net, l1, l2) {}
+
+  int flow_slots() const override { return 1; }
+
+  std::vector<topo::PathPair> flow_paths(int slot, int nsubflows,
+                                         Rng& rng) override {
+    (void)slot;
+    (void)rng;
+    return take({{links_.fwd(0), links_.rev(0)},
+                 {links_.fwd(1), links_.rev(1)}},
+                nsubflows);
+  }
+
+  std::vector<net::Queue*> queues() override {
+    return {&links_.queue(0), &links_.queue(1)};
+  }
+
+ private:
+  topo::TwoLink links_;
+};
+
+topo::LinkSpec link_spec(const Section& s, const std::string& prefix) {
+  topo::LinkSpec spec;
+  spec.rate_bps = s.get_rate_bps(prefix + "_rate", spec.rate_bps);
+  spec.one_way_delay = s.get_time(prefix + "_delay", spec.one_way_delay);
+  spec.buf_bytes = s.get_bytes(prefix + "_buf", spec.buf_bytes);
+  return spec;
+}
+
+class TriangleTopo final : public BuiltTopology {
+ public:
+  TriangleTopo(topo::Network& net, const std::array<double, 3>& rates,
+               SimTime delay, const std::array<std::uint64_t, 3>& bufs)
+      : tri_(net, rates, delay, bufs) {}
+
+  int flow_slots() const override { return topo::Triangle::kFlows; }
+
+  std::vector<topo::PathPair> flow_paths(int slot, int nsubflows,
+                                         Rng& rng) override {
+    (void)rng;
+    return take({{tri_.fwd(slot, 0), tri_.rev(slot, 0)},
+                 {tri_.fwd(slot, 1), tri_.rev(slot, 1)}},
+                nsubflows);
+  }
+
+  std::vector<net::Queue*> queues() override {
+    return {&tri_.queue(0), &tri_.queue(1), &tri_.queue(2)};
+  }
+
+ private:
+  topo::Triangle tri_;
+};
+
+class ParkingLotTopo final : public BuiltTopology {
+ public:
+  ParkingLotTopo(topo::Network& net, double rate, SimTime rtt,
+                 std::uint64_t buf)
+      : pl_(net, rate, rtt, buf) {}
+
+  int flow_slots() const override { return topo::ParkingLot::kFlows; }
+
+  // Path 0 = the one-hop path, path 1 = the two-hop detour (Fig. 2's
+  // ordering).
+  std::vector<topo::PathPair> flow_paths(int slot, int nsubflows,
+                                         Rng& rng) override {
+    (void)rng;
+    return take({{pl_.one_hop_fwd(slot), pl_.one_hop_rev(slot)},
+                 {pl_.two_hop_fwd(slot), pl_.two_hop_rev(slot)}},
+                nsubflows);
+  }
+
+  std::vector<net::Queue*> queues() override {
+    return {&pl_.queue(0), &pl_.queue(1), &pl_.queue(2)};
+  }
+
+ private:
+  topo::ParkingLot pl_;
+};
+
+class TorusTopo final : public BuiltTopology {
+ public:
+  TorusTopo(topo::Network& net,
+            const std::array<double, topo::Torus::kLinks>& rates)
+      : torus_(net, rates) {}
+
+  int flow_slots() const override { return topo::Torus::kLinks; }
+
+  std::vector<topo::PathPair> flow_paths(int slot, int nsubflows,
+                                         Rng& rng) override {
+    (void)rng;
+    return take({{torus_.fwd(slot, 0), torus_.rev(slot, 0)},
+                 {torus_.fwd(slot, 1), torus_.rev(slot, 1)}},
+                nsubflows);
+  }
+
+  std::vector<net::Queue*> queues() override {
+    std::vector<net::Queue*> qs;
+    for (int l = 0; l < topo::Torus::kLinks; ++l) {
+      qs.push_back(&torus_.queue(l));
+    }
+    return qs;
+  }
+
+ private:
+  topo::Torus torus_;
+};
+
+class FatTreeTopo final : public BuiltTopology {
+ public:
+  FatTreeTopo(topo::Network& net, int k, double rate, SimTime delay,
+              std::uint64_t buf)
+      : ft_(net, k, rate, delay, buf) {}
+
+  int flow_slots() const override { return 0; }  // matrix traffic only
+
+  std::vector<topo::PathPair> flow_paths(int slot, int nsubflows,
+                                         Rng& rng) override {
+    (void)slot;
+    (void)nsubflows;
+    (void)rng;
+    return {};
+  }
+
+  int num_hosts() const override { return ft_.num_hosts(); }
+
+  std::vector<topo::PathPair> host_paths(int src, int dst, int n,
+                                         Rng& rng) override {
+    return topo::sample_path_pairs(ft_, src, dst, n, rng);
+  }
+
+  std::vector<net::Queue*> queues() override {
+    // Access then core, the Fig. 13 reporting order.
+    std::vector<net::Queue*> qs;
+    for (const auto* q : ft_.access_queues()) {
+      qs.push_back(const_cast<net::Queue*>(q));
+    }
+    for (const auto* q : ft_.core_queues()) {
+      qs.push_back(const_cast<net::Queue*>(q));
+    }
+    return qs;
+  }
+
+ private:
+  topo::FatTree ft_;
+};
+
+class BCubeTopo final : public BuiltTopology {
+ public:
+  BCubeTopo(topo::Network& net, int n, int k, double rate, SimTime delay,
+            std::uint64_t buf)
+      : bc_(net, n, k, rate, delay, buf) {}
+
+  int flow_slots() const override { return 0; }  // matrix traffic only
+
+  std::vector<topo::PathPair> flow_paths(int slot, int nsubflows,
+                                         Rng& rng) override {
+    (void)slot;
+    (void)nsubflows;
+    (void)rng;
+    return {};
+  }
+
+  int num_hosts() const override { return bc_.num_hosts(); }
+
+  std::vector<topo::PathPair> host_paths(int src, int dst, int n,
+                                         Rng& rng) override {
+    return topo::sample_path_pairs(bc_, src, dst, n, rng);
+  }
+
+  std::vector<std::pair<int, int>> neighbor_pairs() const override {
+    // BCube TP2: every host writes to its one-digit neighbours at every
+    // level (replica placement close in the topology).
+    std::vector<std::pair<int, int>> tm;
+    for (int h = 0; h < bc_.num_hosts(); ++h) {
+      for (int l = 0; l < bc_.levels(); ++l) {
+        for (int d : bc_.neighbors(h, l)) tm.emplace_back(h, d);
+      }
+    }
+    return tm;
+  }
+
+  std::vector<net::Queue*> queues() override {
+    std::vector<net::Queue*> qs;
+    for (const auto* q : bc_.all_queues()) {
+      qs.push_back(const_cast<net::Queue*>(q));
+    }
+    return qs;
+  }
+
+ private:
+  topo::BCube bc_;
+};
+
+class WirelessTopo final : public BuiltTopology {
+ public:
+  WirelessTopo(topo::Network& net, double wifi_loss)
+      : radio_(net, wifi_loss) {}
+
+  void add_schedule(EventList& events, net::VariableRateQueue& q,
+                    std::vector<net::RateSchedule::Change> changes) {
+    schedules_.push_back(
+        std::make_unique<net::RateSchedule>(events, q, std::move(changes)));
+  }
+
+  topo::WirelessClient& radio() { return radio_; }
+
+  int flow_slots() const override { return 1; }
+
+  // Path 0 = WiFi, path 1 = 3G.
+  std::vector<topo::PathPair> flow_paths(int slot, int nsubflows,
+                                         Rng& rng) override {
+    (void)slot;
+    (void)rng;
+    return take({{radio_.wifi_fwd(), radio_.wifi_rev()},
+                 {radio_.g3_fwd(), radio_.g3_rev()}},
+                nsubflows);
+  }
+
+  std::vector<net::Queue*> queues() override {
+    return {&radio_.wifi_q, &radio_.g3_q};
+  }
+
+ private:
+  topo::WirelessClient radio_;
+  std::vector<std::unique_ptr<net::RateSchedule>> schedules_;
+};
+
+// "<time>:<rate>" schedule entries, e.g. "9min:0bps". Times are scaled
+// like every other simulated duration.
+std::vector<net::RateSchedule::Change> parse_schedule(
+    const Section& s, const std::string& key, const BuildEnv& env) {
+  std::vector<net::RateSchedule::Change> changes;
+  for (const std::string& entry : s.get_string_array(key)) {
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      s.fail("schedule entry '" + entry + "' in '" + key +
+             "' must look like \"9min:5Mbps\"");
+    }
+    net::RateSchedule::Change c;
+    c.at = env.scaled(
+        parse_time(entry.substr(0, colon), s.file(), s.line()));
+    c.rate_bps =
+        parse_rate_bps(entry.substr(colon + 1), s.file(), s.line());
+    changes.push_back(c);
+  }
+  return changes;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithms
+// ---------------------------------------------------------------------------
+
+AlgorithmInstance make_algorithm(const std::string& kind,
+                                 const Section& at) {
+  AlgorithmInstance a;
+  a.name = kind;
+  if (kind == "uncoupled") {
+    a.cc = std::make_unique<cc::Uncoupled>();
+  } else if (kind == "ewtcp") {
+    a.cc = std::make_unique<cc::Ewtcp>();
+  } else if (kind == "coupled") {
+    a.cc = std::make_unique<cc::Coupled>();
+  } else if (kind == "semicoupled") {
+    a.cc = std::make_unique<cc::SemiCoupled>();
+  } else if (kind == "mptcp") {
+    a.cc = std::make_unique<cc::MptcpLia>();
+  } else if (kind == "rfc6356") {
+    a.cc = std::make_unique<cc::Rfc6356>();
+  } else if (kind == "single") {
+    a.cc = std::make_unique<cc::Uncoupled>();
+    a.single_path = true;
+  } else {
+    at.fail("unknown algorithm kind '" + kind + "'");
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Traffic models
+// ---------------------------------------------------------------------------
+
+// "0", "1", "0+1", ... — '+'-joined path indices for one flow.
+std::vector<int> parse_path_set(const std::string& text, const Section& s) {
+  std::vector<int> idxs;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t plus = text.find('+', pos);
+    const std::string part =
+        text.substr(pos, plus == std::string::npos ? std::string::npos
+                                                   : plus - pos);
+    if (part.empty() || part.find_first_not_of("0123456789") !=
+                            std::string::npos) {
+      s.fail("flow path set '" + text +
+             "' must be '+'-joined path indices like \"0+1\"");
+    }
+    idxs.push_back(std::stoi(part));
+    if (plus == std::string::npos) break;
+    pos = plus + 1;
+  }
+  return idxs;
+}
+
+struct FlowSpec {
+  std::vector<int> paths;  // path indices within the flow's slot
+  std::string name;
+  SimTime start = 0;
+  std::string algo;  // "" = the run's [algorithm] instance
+};
+
+class PersistentTraffic final : public TrafficModel {
+ public:
+  explicit PersistentTraffic(const Section& s) {
+    if (s.has("flows")) {
+      if (s.has("count")) s.reject("count", "mutually exclusive with 'flows'");
+      if (s.has("subflows")) {
+        s.reject("subflows", "mutually exclusive with 'flows'");
+      }
+      for (const std::string& f : s.get_string_array("flows")) {
+        FlowSpec fs;
+        fs.paths = parse_path_set(f, s);
+        flows_.push_back(std::move(fs));
+      }
+      if (flows_.empty()) s.fail("'flows' must not be empty");
+    } else {
+      count_ = static_cast<int>(s.get_int("count", -1));
+      subflows_ = static_cast<int>(s.get_int("subflows", 2));
+      if (subflows_ < 1) s.fail("'subflows' must be >= 1");
+    }
+    const bool has_starts = s.has("starts");
+    if (has_starts) {
+      if (s.has("start")) s.reject("start", "mutually exclusive with 'starts'");
+      if (s.has("stagger")) {
+        s.reject("stagger", "mutually exclusive with 'starts'");
+      }
+      starts_ = s.get_time_array("starts");
+    } else {
+      start_ = s.get_time("start", 0);
+      stagger_ = s.get_time("stagger", 0);
+    }
+    if (s.has("names")) names_ = s.get_string_array("names");
+    if (s.has("algos")) algos_ = s.get_string_array("algos");
+    recv_buffer_pkts_ = static_cast<std::uint64_t>(s.get_int(
+        "recv_buffer_pkts",
+        static_cast<std::int64_t>(mptcp::ConnectionConfig{}.recv_buffer_pkts)));
+    app_limit_pkts_ =
+        static_cast<std::uint64_t>(s.get_int("app_limit_pkts", 0));
+    min_rto_ = s.get_time("min_rto", tcp::SubflowConfig{}.min_rto);
+    section_copy_ = &s;  // diagnostics only; outlives the model (Scenario)
+  }
+
+  void build(EventList& events, BuiltTopology& topo,
+             const AlgorithmInstance& algo, Rng& rng,
+             const BuildEnv& env) override {
+    std::vector<FlowSpec> flows = flows_;
+    if (flows.empty()) {
+      const int n = count_ >= 0 ? count_ : topo.flow_slots();
+      if (n <= 0) {
+        section_copy_->fail(
+            "this topology has no flow slots; give an explicit 'count'");
+      }
+      for (int i = 0; i < n; ++i) {
+        FlowSpec fs;
+        const int nsub = algo.single_path ? 1 : subflows_;
+        for (int p = 0; p < nsub; ++p) fs.paths.push_back(p);
+        flows.push_back(std::move(fs));
+      }
+    }
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (i < names_.size()) flows[i].name = names_[i];
+      if (flows[i].name.empty()) {
+        flows[i].name = "flow" + std::to_string(i);
+      }
+      if (i < starts_.size()) {
+        flows[i].start = starts_[i];
+      } else if (starts_.empty()) {
+        flows[i].start =
+            start_ + static_cast<SimTime>(i) * stagger_;
+      } else {
+        section_copy_->fail("'starts' must list one time per flow");
+      }
+      if (i < algos_.size()) flows[i].algo = algos_[i];
+    }
+
+    mptcp::ConnectionConfig ccfg;
+    ccfg.recv_buffer_pkts = recv_buffer_pkts_;
+    ccfg.app_limit_pkts = app_limit_pkts_;
+    ccfg.subflow.min_rto = min_rto_;
+
+    const int slots = topo.flow_slots();
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const FlowSpec& fs = flows[i];
+      AlgorithmInstance local;
+      const AlgorithmInstance* use = &algo;
+      if (!fs.algo.empty()) {
+        local = make_algorithm(fs.algo, *section_copy_);
+        use = &local;
+      }
+      std::vector<int> paths = fs.paths;
+      if (use->single_path && paths.size() > 1) paths.resize(1);
+      int max_idx = 0;
+      for (int p : paths) max_idx = p > max_idx ? p : max_idx;
+      const int slot = slots > 0 ? static_cast<int>(i) % slots : 0;
+      auto pairs = topo.flow_paths(slot, max_idx + 1, rng);
+      if (static_cast<std::size_t>(max_idx) >= pairs.size()) {
+        section_copy_->fail("flow " + std::to_string(i) +
+                            " references path index " +
+                            std::to_string(max_idx) +
+                            " but the topology offers only " +
+                            std::to_string(pairs.size()));
+      }
+      auto conn = std::make_unique<mptcp::MptcpConnection>(
+          events, fs.name, *use->cc, ccfg);
+      for (int p : paths) {
+        conn->add_subflow(pairs[static_cast<std::size_t>(p)].first,
+                          pairs[static_cast<std::size_t>(p)].second);
+      }
+      conn->start(env.scaled_start(fs.start));
+      if (use == &local) owned_algos_.push_back(std::move(local.cc));
+      conns_.push_back(std::move(conn));
+    }
+  }
+
+  std::vector<const mptcp::MptcpConnection*> connections() const override {
+    std::vector<const mptcp::MptcpConnection*> out;
+    for (const auto& c : conns_) out.push_back(c.get());
+    return out;
+  }
+
+ private:
+  std::vector<FlowSpec> flows_;
+  int count_ = -1;
+  int subflows_ = 2;
+  SimTime start_ = 0;
+  SimTime stagger_ = 0;
+  std::vector<SimTime> starts_;
+  std::vector<std::string> names_;
+  std::vector<std::string> algos_;
+  std::uint64_t recv_buffer_pkts_;
+  std::uint64_t app_limit_pkts_;
+  SimTime min_rto_;
+  const Section* section_copy_;
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> conns_;
+  std::vector<std::unique_ptr<const cc::CongestionControl>> owned_algos_;
+};
+
+// The §4 traffic matrices, built exactly like bench::run_dc: flow idx gets
+// name "f<idx>", starts at 0.5 ms * (idx % 997) (unscaled — starts only
+// de-synchronize), and single-path runs sample one path.
+class MatrixTraffic final : public TrafficModel {
+ public:
+  enum class Kind { kPermutation, kOneToMany, kSparse, kNeighbors };
+
+  MatrixTraffic(Kind kind, const Section& s) : kind_(kind) {
+    if (kind_ != Kind::kNeighbors) {
+      tm_seed_ = static_cast<std::uint64_t>(s.get_int("tm_seed"));
+    }
+    if (kind_ == Kind::kOneToMany) {
+      flows_per_host_ = static_cast<int>(s.get_int("flows_per_host", 12));
+    }
+    if (kind_ == Kind::kSparse) {
+      fraction_ = s.get_number("fraction", 0.3);
+    }
+    subflows_ = static_cast<int>(s.get_int("subflows", 8));
+    min_rto_ = s.get_time("min_rto", from_ms(10));
+    recv_buffer_pkts_ =
+        static_cast<std::uint64_t>(s.get_int("recv_buffer_pkts", 4096));
+    section_ = &s;
+  }
+
+  void build(EventList& events, BuiltTopology& topo,
+             const AlgorithmInstance& algo, Rng& rng,
+             const BuildEnv& env) override {
+    (void)env;
+    hosts_ = topo.num_hosts();
+    if (hosts_ <= 0) {
+      section_->fail("matrix traffic needs a host-addressable topology "
+                     "(fat_tree, bcube)");
+    }
+    std::vector<std::pair<int, int>> tm;
+    if (kind_ == Kind::kNeighbors) {
+      tm = topo.neighbor_pairs();
+      if (tm.empty()) {
+        section_->fail("this topology has no neighbour traffic matrix");
+      }
+    } else {
+      Rng tm_rng(tm_seed_);
+      std::vector<traffic::FlowPair> pairs;
+      switch (kind_) {
+        case Kind::kPermutation:
+          pairs = traffic::permutation_tm(hosts_, tm_rng);
+          break;
+        case Kind::kOneToMany:
+          pairs = traffic::one_to_many_tm(hosts_, flows_per_host_, tm_rng);
+          break;
+        default:
+          pairs = traffic::sparse_tm(hosts_, fraction_, tm_rng);
+          break;
+      }
+      for (const auto& p : pairs) tm.emplace_back(p.src, p.dst);
+    }
+
+    mptcp::ConnectionConfig ccfg;
+    ccfg.subflow.min_rto = min_rto_;
+    ccfg.recv_buffer_pkts = recv_buffer_pkts_;
+    int idx = 0;
+    for (const auto& [src, dst] : tm) {
+      auto conn = std::make_unique<mptcp::MptcpConnection>(
+          events, "f" + std::to_string(idx), *algo.cc, ccfg);
+      auto paths =
+          topo.host_paths(src, dst, algo.single_path ? 1 : subflows_, rng);
+      for (auto& pr : paths) {
+        conn->add_subflow(pr.first, pr.second);
+      }
+      conn->start(from_ms(0.5 * static_cast<double>(idx % 997)));
+      conns_.push_back(std::move(conn));
+      ++idx;
+    }
+  }
+
+  std::vector<const mptcp::MptcpConnection*> connections() const override {
+    std::vector<const mptcp::MptcpConnection*> out;
+    for (const auto& c : conns_) out.push_back(c.get());
+    return out;
+  }
+
+  int host_count() const override { return hosts_; }
+
+ private:
+  Kind kind_;
+  std::uint64_t tm_seed_ = 0;
+  int flows_per_host_ = 12;
+  double fraction_ = 0.3;
+  int subflows_ = 8;
+  SimTime min_rto_;
+  std::uint64_t recv_buffer_pkts_;
+  const Section* section_;
+  int hosts_ = 0;
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> conns_;
+};
+
+// §3's dynamic server workload: Poisson single-path arrivals on path 0,
+// one long-lived TCP on path 1, and a set of multipath companions using
+// both paths — all simultaneously, as the paper ran them. The run seed
+// drives the arrival process, so [run] seeds sweeps arrival randomness.
+class PoissonTraffic final : public TrafficModel {
+ public:
+  explicit PoissonTraffic(const Section& s) {
+    pcfg_.light_rate_per_sec = s.get_number("light_rate_per_sec", 10.0);
+    pcfg_.heavy_rate_per_sec = s.get_number("heavy_rate_per_sec", 60.0);
+    phase_ = s.get_time("phase", from_sec(10));
+    pcfg_.pareto_shape = s.get_number("pareto_shape", 2.0);
+    pcfg_.mean_flow_bytes = s.get_number("mean_flow_bytes", 200e3);
+    long_tcp_ = s.get_bool("long_tcp", true);
+    if (s.has("companions")) {
+      companions_ = s.get_string_array("companions");
+    } else {
+      companions_ = {"mptcp", "coupled", "ewtcp"};
+    }
+    section_ = &s;
+  }
+
+  void build(EventList& events, BuiltTopology& topo,
+             const AlgorithmInstance& algo, Rng& rng,
+             const BuildEnv& env) override {
+    (void)algo;  // per-companion algorithms below
+    pcfg_.phase_duration = env.scaled(phase_);
+    pcfg_.seed = seed_;
+    auto pairs = topo.flow_paths(0, 2, rng);
+    if (pairs.size() < 2) {
+      section_->fail("poisson traffic needs a two-path flow slot");
+    }
+    gen_ = std::make_unique<traffic::PoissonFlowGenerator>(
+        events, "poisson", pcfg_,
+        [&events, pairs](const std::string& name, std::uint64_t pkts) {
+          mptcp::ConnectionConfig cfg;
+          cfg.app_limit_pkts = pkts;
+          auto conn = mptcp::make_single_path_tcp(
+              events, name, pairs[0].first, pairs[0].second, cfg);
+          conn->start(events.now());
+          return conn;
+        });
+    if (long_tcp_) {
+      persistent_.push_back(mptcp::make_single_path_tcp(
+          events, "long", pairs[1].first, pairs[1].second));
+    }
+    for (const std::string& kind : companions_) {
+      AlgorithmInstance inst = make_algorithm(kind, *section_);
+      auto conn = std::make_unique<mptcp::MptcpConnection>(events, kind,
+                                                           *inst.cc);
+      conn->add_subflow(pairs[0].first, pairs[0].second);
+      conn->add_subflow(pairs[1].first, pairs[1].second);
+      persistent_.push_back(std::move(conn));
+      owned_algos_.push_back(std::move(inst.cc));
+    }
+    // The bench's start stagger: generator at 0, long TCP at 3 ms,
+    // companions at 7, 13, 19, ... ms.
+    gen_->start(0);
+    std::size_t c = 0;
+    for (auto& conn : persistent_) {
+      if (long_tcp_ && c == 0) {
+        conn->start(from_ms(3));
+      } else {
+        const std::size_t k = c - (long_tcp_ ? 1 : 0);
+        conn->start(from_ms(7 + 6 * static_cast<double>(k)));
+      }
+      ++c;
+    }
+  }
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+
+  std::vector<const mptcp::MptcpConnection*> connections() const override {
+    std::vector<const mptcp::MptcpConnection*> out;
+    for (const auto& c : persistent_) out.push_back(c.get());
+    return out;
+  }
+
+  void record_metrics(runner::RunContext& ctx) const override {
+    if (gen_ == nullptr) return;
+    ctx.record("poisson_flows_started",
+               static_cast<double>(gen_->flows_started()));
+    ctx.record("poisson_flows_completed",
+               static_cast<double>(gen_->flows_completed()));
+  }
+
+ private:
+  traffic::PoissonConfig pcfg_;
+  SimTime phase_;
+  bool long_tcp_;
+  std::vector<std::string> companions_;
+  std::uint64_t seed_ = 1;
+  const Section* section_;
+  std::unique_ptr<traffic::PoissonFlowGenerator> gen_;
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> persistent_;
+  std::vector<std::unique_ptr<const cc::CongestionControl>> owned_algos_;
+};
+
+// ---------------------------------------------------------------------------
+// Registrations
+// ---------------------------------------------------------------------------
+
+Registry make_builtin_registry() {
+  Registry r;
+
+  r.add_topology(
+      "two_link", "client/server over two disjoint bottleneck links",
+      [](topo::Network& net, const Section& s, const BuildEnv&) {
+        return std::make_unique<TwoLinkTopo>(net, link_spec(s, "link1"),
+                                             link_spec(s, "link2"));
+      });
+
+  r.add_topology(
+      "triangle", "Fig. 3: three links, three two-path flows in a cycle",
+      [](topo::Network& net, const Section& s, const BuildEnv&) {
+        const auto rates = s.get_number_array("rates_pps");
+        if (rates.size() != 3) s.fail("'rates_pps' must list 3 link rates");
+        const SimTime delay = s.get_time("one_way_delay", from_ms(10));
+        std::array<double, 3> bps{};
+        std::array<std::uint64_t, 3> bufs{};
+        const double bdp_mult = s.get_number("buffer_bdp", 1.0);
+        for (int i = 0; i < 3; ++i) {
+          bps[static_cast<std::size_t>(i)] = topo::pkts_per_sec_to_bps(
+              rates[static_cast<std::size_t>(i)]);
+          bufs[static_cast<std::size_t>(i)] = topo::bdp_bytes(
+              bps[static_cast<std::size_t>(i)], 2 * delay, bdp_mult);
+        }
+        return std::make_unique<TriangleTopo>(net, bps, delay, bufs);
+      });
+
+  r.add_topology(
+      "parking_lot",
+      "Fig. 2: three-link cycle, one-hop vs two-hop paths",
+      [](topo::Network& net, const Section& s, const BuildEnv&) {
+        const double rate = s.get_rate_bps("link_rate", 48e6);
+        const SimTime rtt = s.get_time("rtt", from_ms(40));
+        const std::uint64_t buf =
+            s.get_bytes("buffer", topo::bdp_bytes(rate, rtt));
+        return std::make_unique<ParkingLotTopo>(net, rate, rtt, buf);
+      });
+
+  r.add_topology(
+      "torus", "Fig. 7/8: five-link ring, five two-path flows",
+      [](topo::Network& net, const Section& s, const BuildEnv&) {
+        std::array<double, topo::Torus::kLinks> rates{};
+        if (s.has("rates_pps")) {
+          const auto rs = s.get_number_array("rates_pps");
+          if (rs.size() != topo::Torus::kLinks) {
+            s.fail("'rates_pps' must list 5 link rates");
+          }
+          for (std::size_t i = 0; i < rs.size(); ++i) rates[i] = rs[i];
+        } else {
+          const double base = s.get_number("rate_pps", 1000.0);
+          const double cap_c = s.get_number("cap_c", base);
+          rates = {base, base, cap_c, base, base};
+        }
+        return std::make_unique<TorusTopo>(net, rates);
+      });
+
+  r.add_topology(
+      "fat_tree", "§4: k-ary FatTree (k=8 -> 128 hosts, 100 Mb/s links)",
+      [](topo::Network& net, const Section& s, const BuildEnv&) {
+        const int k = static_cast<int>(s.get_int("k", 8));
+        if (k < 2 || k % 2 != 0) s.fail("'k' must be even and >= 2");
+        const double rate = s.get_rate_bps("link_rate", 100e6);
+        const SimTime delay = s.get_time("per_hop_delay", from_us(20));
+        const std::uint64_t buf =
+            s.get_bytes("buffer", 100 * net::kDataPacketBytes);
+        return std::make_unique<FatTreeTopo>(net, k, rate, delay, buf);
+      });
+
+  r.add_topology(
+      "bcube", "§4: BCube(n,k) server-centric fabric (5,2 -> 125 hosts)",
+      [](topo::Network& net, const Section& s, const BuildEnv&) {
+        const int n = static_cast<int>(s.get_int("n", 5));
+        const int k = static_cast<int>(s.get_int("k", 2));
+        if (n < 2 || k < 0) s.fail("need n >= 2 and k >= 0");
+        const double rate = s.get_rate_bps("link_rate", 100e6);
+        const SimTime delay = s.get_time("per_hop_delay", from_us(20));
+        const std::uint64_t buf =
+            s.get_bytes("buffer", 100 * net::kDataPacketBytes);
+        return std::make_unique<BCubeTopo>(net, n, k, rate, delay, buf);
+      });
+
+  r.add_topology(
+      "wireless",
+      "§5: WiFi (path 0) + 3G (path 1) client, scriptable rates",
+      [](topo::Network& net, const Section& s, const BuildEnv& env) {
+        const double wifi_loss = s.get_number("wifi_loss", 0.0005);
+        auto t = std::make_unique<WirelessTopo>(net, wifi_loss);
+        if (s.has("wifi_schedule")) {
+          t->add_schedule(net.events(), t->radio().wifi_q,
+                          parse_schedule(s, "wifi_schedule", env));
+        }
+        if (s.has("g3_schedule")) {
+          t->add_schedule(net.events(), t->radio().g3_q,
+                          parse_schedule(s, "g3_schedule", env));
+        }
+        return t;
+      });
+
+  auto simple_algo = [](const char* kind) {
+    return [kind](const Section& s) { return make_algorithm(kind, s); };
+  };
+  r.add_algorithm("uncoupled", "independent TCP per subflow",
+                  simple_algo("uncoupled"));
+  r.add_algorithm("ewtcp", "equally-weighted TCP per subflow (§2.1)",
+                  [](const Section& s) {
+                    AlgorithmInstance a;
+                    a.name = "ewtcp";
+                    const double w = s.get_number("weight", 0.0);
+                    a.cc = std::make_unique<cc::Ewtcp>(w);
+                    return a;
+                  });
+  r.add_algorithm("coupled", "fully coupled windows (§2.3)",
+                  simple_algo("coupled"));
+  r.add_algorithm("semicoupled",
+                  "coupled increase, per-path decrease (§2.4)",
+                  [](const Section& s) {
+                    AlgorithmInstance a;
+                    a.name = "semicoupled";
+                    const double aa = s.get_number("a", 1.0);
+                    a.cc = std::make_unique<cc::SemiCoupled>(aa);
+                    return a;
+                  });
+  r.add_algorithm("mptcp", "the paper's final algorithm (§2.5, LIA)",
+                  simple_algo("mptcp"));
+  r.add_algorithm("rfc6356", "RFC 6356 standardisation of LIA",
+                  simple_algo("rfc6356"));
+  r.add_algorithm("single",
+                  "single-path TCP baseline (1 subflow, uncoupled)",
+                  simple_algo("single"));
+
+  r.add_traffic("persistent", "long-lived flows on the topology's slots",
+                [](const Section& s) {
+                  return std::make_unique<PersistentTraffic>(s);
+                });
+  r.add_traffic("permutation", "TP1: random derangement of hosts",
+                [](const Section& s) {
+                  return std::make_unique<MatrixTraffic>(
+                      MatrixTraffic::Kind::kPermutation, s);
+                });
+  r.add_traffic("one_to_many",
+                "TP2 (FatTree): N random destinations per host",
+                [](const Section& s) {
+                  return std::make_unique<MatrixTraffic>(
+                      MatrixTraffic::Kind::kOneToMany, s);
+                });
+  r.add_traffic("sparse", "TP3: a fraction of hosts, one flow each",
+                [](const Section& s) {
+                  return std::make_unique<MatrixTraffic>(
+                      MatrixTraffic::Kind::kSparse, s);
+                });
+  r.add_traffic("neighbors",
+                "TP2 (BCube): every host to its one-digit neighbours",
+                [](const Section& s) {
+                  return std::make_unique<MatrixTraffic>(
+                      MatrixTraffic::Kind::kNeighbors, s);
+                });
+  r.add_traffic("poisson",
+                "§3: Poisson arrivals + long TCP + multipath companions",
+                [](const Section& s) {
+                  return std::make_unique<PoissonTraffic>(s);
+                });
+
+  return r;
+}
+
+}  // namespace
+
+const Registry& builtin_registry() {
+  static const Registry registry = make_builtin_registry();
+  return registry;
+}
+
+// The engine needs to push the run seed into a Poisson model without
+// widening the TrafficModel interface for every kind.
+void seed_poisson_model(TrafficModel& model, std::uint64_t seed) {
+  if (auto* p = dynamic_cast<PoissonTraffic*>(&model)) {
+    p->set_seed(seed);
+  }
+}
+
+}  // namespace mpsim::scenario

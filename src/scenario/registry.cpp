@@ -1,0 +1,101 @@
+#include "scenario/registry.hpp"
+
+#include "core/check.hpp"
+
+namespace mpsim::scenario {
+
+std::vector<topo::PathPair> BuiltTopology::host_paths(int src, int dst,
+                                                      int n, Rng& rng) {
+  (void)src;
+  (void)dst;
+  (void)n;
+  (void)rng;
+  return {};
+}
+
+namespace {
+
+template <typename T>
+const T* find_entry(const std::vector<T>& entries, const std::string& key) {
+  for (const T& e : entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+template <typename T>
+std::string known_keys(const std::vector<T>& entries) {
+  std::string out;
+  for (const T& e : entries) {
+    if (!out.empty()) out += ", ";
+    out += e.key;
+  }
+  return out;
+}
+
+}  // namespace
+
+const TopologyBuilder& Registry::topology(const std::string& key,
+                                          const Section& at) const {
+  if (const auto* e = find_entry(topologies_, key)) return e->builder;
+  at.fail("unknown topology kind '" + key + "' (known: " +
+          known_keys(topologies_) + ")");
+}
+
+const AlgorithmBuilder& Registry::algorithm(const std::string& key,
+                                            const Section& at) const {
+  if (const auto* e = find_entry(algorithms_, key)) return e->builder;
+  at.fail("unknown algorithm kind '" + key + "' (known: " +
+          known_keys(algorithms_) + ")");
+}
+
+const TrafficBuilder& Registry::traffic(const std::string& key,
+                                        const Section& at) const {
+  if (const auto* e = find_entry(traffics_, key)) return e->builder;
+  at.fail("unknown traffic kind '" + key + "' (known: " +
+          known_keys(traffics_) + ")");
+}
+
+namespace {
+
+template <typename T>
+Registry::Names names_of(const std::vector<T>& entries) {
+  Registry::Names n;
+  for (const T& e : entries) n.entries.emplace_back(e.key, e.help);
+  return n;
+}
+
+}  // namespace
+
+Registry::Names Registry::topology_names() const {
+  return names_of(topologies_);
+}
+Registry::Names Registry::algorithm_names() const {
+  return names_of(algorithms_);
+}
+Registry::Names Registry::traffic_names() const {
+  return names_of(traffics_);
+}
+
+void Registry::add_topology(const std::string& key, const std::string& help,
+                            TopologyBuilder b) {
+  MPSIM_CHECK(find_entry(topologies_, key) == nullptr,
+              "duplicate topology registration");
+  topologies_.push_back({key, help, std::move(b)});
+}
+
+void Registry::add_algorithm(const std::string& key, const std::string& help,
+                             AlgorithmBuilder b) {
+  MPSIM_CHECK(find_entry(algorithms_, key) == nullptr,
+              "duplicate algorithm registration");
+  algorithms_.push_back({key, help, std::move(b)});
+}
+
+void Registry::add_traffic(const std::string& key, const std::string& help,
+                           TrafficBuilder b) {
+  MPSIM_CHECK(find_entry(traffics_, key) == nullptr,
+              "duplicate traffic registration");
+  traffics_.push_back({key, help, std::move(b)});
+}
+
+}  // namespace mpsim::scenario

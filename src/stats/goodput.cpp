@@ -1,0 +1,33 @@
+#include "stats/goodput.hpp"
+
+#include "stats/monitors.hpp"
+
+namespace mpsim::stats {
+
+void GoodputMeter::mark() {
+  t0_ = events_.now();
+  base_.clear();
+  for (const auto* c : conns_) base_.push_back(c->delivered_pkts());
+}
+
+std::vector<double> GoodputMeter::mbps() const {
+  std::vector<double> out;
+  const SimTime elapsed = events_.now() - t0_;
+  if (elapsed <= 0) {
+    out.assign(conns_.size(), 0.0);
+    return out;
+  }
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    out.push_back(pkts_to_mbps(conns_[i]->delivered_pkts() - base_[i],
+                               elapsed));
+  }
+  return out;
+}
+
+double GoodputMeter::total_mbps() const {
+  double total = 0.0;
+  for (double v : mbps()) total += v;
+  return total;
+}
+
+}  // namespace mpsim::stats

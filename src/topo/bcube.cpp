@@ -127,4 +127,22 @@ std::vector<const net::Queue*> BCube::all_queues() const {
   return qs;
 }
 
+std::vector<PathPair> sample_path_pairs(BCube& bc, int src, int dst, int n,
+                                        Rng& rng) {
+  std::vector<PathPair> out;
+  if (n <= 1) {
+    auto p = bc.single_path(src, dst);
+    auto ack = bc.ack_path(p);
+    out.emplace_back(std::move(p), std::move(ack));
+    (void)rng;
+    return out;
+  }
+  auto all = bc.paths(src, dst, rng);
+  for (int i = 0; i < n && i < static_cast<int>(all.size()); ++i) {
+    out.emplace_back(all[static_cast<std::size_t>(i)],
+                     bc.ack_path(all[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
 }  // namespace mpsim::topo

@@ -72,4 +72,11 @@ class BCube {
   std::map<SimTime, net::Pipe*> ack_pipes_;
 };
 
+// Up to `n` (fwd, ack) path pairs for one connection. n <= 1 takes BCube's
+// standard shortest route (digit correction) *without drawing from `rng`*,
+// so a single-path run consumes the same rng stream as no run at all —
+// multipath and single-path traffic matrices stay seed-comparable.
+std::vector<PathPair> sample_path_pairs(BCube& bc, int src, int dst, int n,
+                                        Rng& rng);
+
 }  // namespace mpsim::topo

@@ -156,4 +156,14 @@ std::vector<const net::Queue*> FatTree::core_queues() const {
   return qs;
 }
 
+std::vector<PathPair> sample_path_pairs(FatTree& ft, int src, int dst, int n,
+                                        Rng& rng) {
+  std::vector<PathPair> out;
+  for (auto& p : ft.sample_paths(src, dst, n, rng)) {
+    auto rev = ft.ack_path(p);
+    out.emplace_back(std::move(p), std::move(rev));
+  }
+  return out;
+}
+
 }  // namespace mpsim::topo

@@ -70,4 +70,10 @@ class FatTree {
   std::map<SimTime, net::Pipe*> ack_pipes_;  // shared, keyed by total delay
 };
 
+// Up to `n` sampled (fwd, ack) path pairs for one connection — the path
+// selection every §4 FatTree experiment uses (n = 1 is the ECMP stand-in:
+// one random shortest path).
+std::vector<PathPair> sample_path_pairs(FatTree& ft, int src, int dst, int n,
+                                        Rng& rng);
+
 }  // namespace mpsim::topo

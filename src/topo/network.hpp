@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/event_list.hpp"
@@ -26,6 +27,9 @@
 namespace mpsim::topo {
 
 using Path = std::vector<net::PacketSink*>;
+
+// (forward, ACK-return) element lists for one subflow.
+using PathPair = std::pair<Path, Path>;
 
 // One direction of a link.
 struct Link {

@@ -1,10 +1,10 @@
 #include "trace/trace.hpp"
 
-#include <cstdlib>
 #include <string>
 #include <utility>
 
 #include "core/check.hpp"
+#include "core/env.hpp"
 
 namespace mpsim::trace {
 
@@ -52,9 +52,8 @@ void TraceRecorder::flush(TraceSink& sink) const {
 }
 
 SinkKind sink_from_env() {
-  const char* v = std::getenv("MPSIM_TRACE");
-  if (v == nullptr) return SinkKind::kNone;
-  const std::string s(v);
+  const std::string s = env::env_choice(
+      "MPSIM_TRACE", "off", {"csv", "jsonl", "null", "off", "1", "on"});
   if (s == "csv" || s == "1" || s == "on") return SinkKind::kCsv;
   if (s == "jsonl") return SinkKind::kJsonl;
   if (s == "null") return SinkKind::kNull;
@@ -63,10 +62,9 @@ SinkKind sink_from_env() {
 
 TraceRecorder::Config config_from_env() {
   TraceRecorder::Config cfg;
-  if (const char* v = std::getenv("MPSIM_TRACE_CAPACITY")) {
-    const long long n = std::atoll(v);
-    if (n > 0) cfg.capacity = static_cast<std::size_t>(n);
-  }
+  const std::int64_t n = env::env_int("MPSIM_TRACE_CAPACITY", 0, 0,
+                                      std::int64_t{1} << 32);
+  if (n > 0) cfg.capacity = static_cast<std::size_t>(n);
   return cfg;
 }
 

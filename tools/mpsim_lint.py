@@ -36,6 +36,13 @@ trace-discipline    Instrumentation sites go through the MPSIM_TRACE macro,
                     check and the [[unlikely]] hint, so a bare call either
                     crashes when tracing is off or silently de-optimises
                     the hot path. src/trace/ itself is exempt.
+registry-discipline Scenario-registry registrations (add_topology /
+                    add_algorithm / add_traffic with a literal key) live in
+                    src/scenario/builders.cpp and nowhere else, and every
+                    key there is lowercase [a-z0-9_]+ and unique per kind —
+                    so `mpsim list`, the spec grammar and the registry can
+                    never drift apart or collide. src/scenario/registry.*
+                    (the declarations) is exempt.
 
 Suppression: append `// mpsim-lint: allow(<rule>)` to the offending line.
 
@@ -117,6 +124,15 @@ TRACE_APPEND_RE = re.compile(r"\bappend_unchecked\s*\(")
 SIMTIME_CAST_RE = re.compile(
     r"(static_cast<\s*SimTime\s*>|\bSimTime\s*\()[^;]*\b1e[369]\b", re.DOTALL
 )
+# A registration *call* (not the declarations in registry.hpp, which are
+# preceded by `void` / `Registry::`). Matched against code_of() output, so
+# a wrapped literal key still shows up on the continuation line as `""`.
+REGISTRY_CALL_RE = re.compile(
+    r"(?<!void )(?<!:)\badd_(topology|algorithm|traffic)\s*\(")
+# Key extraction inside builders.cpp (raw text: keys may wrap onto the
+# line after the call).
+REGISTRY_KEY_RE = re.compile(
+    r"\badd_(topology|algorithm|traffic)\s*\(\s*\"([^\"]*)\"", re.DOTALL)
 
 DECL_KEYWORDS = (
     "class", "struct", "enum", "union", "using", "typedef", "template",
@@ -189,6 +205,26 @@ def check_mutable_global(path: Path, lines: list[str], in_block: list[bool],
             "thread_local"))
 
 
+def check_registry_keys(path: Path, text: str,
+                        findings: list[Finding]) -> None:
+    """Key discipline inside builders.cpp: lowercase, unique per kind."""
+    seen: dict[tuple[str, str], int] = {}
+    for m in REGISTRY_KEY_RE.finditer(text):
+        kind, key = m.group(1), m.group(2)
+        line = text.count("\n", 0, m.start()) + 1
+        if not re.fullmatch(r"[a-z0-9_]+", key):
+            findings.append(Finding(
+                path, line, "registry-discipline",
+                f"registry key '{key}' must be lowercase [a-z0-9_]+"))
+        if (kind, key) in seen:
+            findings.append(Finding(
+                path, line, "registry-discipline",
+                f"duplicate {kind} key '{key}' (first registered on line "
+                f"{seen[(kind, key)]})"))
+        else:
+            seen[(kind, key)] = line
+
+
 def lint_file(path: Path, findings: list[Finding]) -> None:
     rel = path.as_posix()
     lines = path.read_text().splitlines()
@@ -217,6 +253,13 @@ def lint_file(path: Path, findings: list[Finding]) -> None:
                          "guard", findings)
     if not rel.endswith("core/time.hpp"):
         check_simtime_rule(path, lines, findings)
+    if rel.endswith("scenario/builders.cpp"):
+        check_registry_keys(path, "\n".join(lines), findings)
+    elif "scenario/registry" not in rel:
+        check_regex_rule(path, lines, in_block, "registry-discipline",
+                         REGISTRY_CALL_RE,
+                         "topology/algorithm/traffic registrations live in "
+                         "src/scenario/builders.cpp only", findings)
     check_mutable_global(path, lines, in_block, findings)
 
 
