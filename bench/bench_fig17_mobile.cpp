@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "cc/mptcp_lia.hpp"
+#include "fault/fault.hpp"
 #include "harness.hpp"
 #include "net/variable_rate_queue.hpp"
 #include "wireless.hpp"
@@ -31,20 +32,6 @@ void run(trace::SinkKind trace_kind) {
     return from_sec(minutes * 60.0 * s);
   };
 
-  // Scripted mobility trace (minutes):
-  //  0-9    desk: WiFi good, 3G moderately congested by other users
-  //  9-10.5 stairwell: no WiFi, 3G better (paper: "3G coverage is better")
-  //  10.5-12 new basestation: WiFi back, first weak then full
-  net::RateSchedule wifi_sched(
-      events, radio.wifi_q,
-      {{at(9.0), 0.0},
-       {at(10.5), 5e6},
-       {at(11.0), bench::WirelessClient::kWifiRate}});
-  net::RateSchedule g3_sched(events, radio.g3_q,
-                             {{at(0.0), 1.0e6},
-                              {at(9.0), 2.1e6},
-                              {at(10.5), 1.4e6}});
-
   auto tcp_wifi = mptcp::make_single_path_tcp(events, "tcp-wifi",
                                               radio.wifi_fwd(),
                                               radio.wifi_rev());
@@ -56,6 +43,38 @@ void run(trace::SinkKind trace_kind) {
   tcp_wifi->start(0);
   tcp_3g->start(from_ms(13));
   mp.start(at(1.0));  // the multipath flow starts a minute in, as in Fig.17
+
+  // Scripted mobility trace (minutes), as a fault plan on the registered
+  // radio queues — the same schedule examples/scenarios/fig17_mobile.toml
+  // expresses in its [faults] section:
+  //  0-9    desk: WiFi good, 3G moderately congested by other users
+  //  9-10.5 stairwell: no WiFi, 3G better (paper: "3G coverage is better")
+  //  10.5-12 new basestation: WiFi back, first weak then full
+  auto ev = [](SimTime t, fault::Action a, const char* target,
+               double value) {
+    fault::FaultEvent e;
+    e.at = t;
+    e.action = a;
+    e.target = target;
+    e.value = value;
+    return e;
+  };
+  fault::FaultPlan plan;
+  plan.events = {
+      ev(at(9.0), fault::Action::kDown, "wifi/q", -1.0),
+      ev(at(10.5), fault::Action::kUp, "wifi/q", 5e6),
+      ev(at(11.0), fault::Action::kRate, "wifi/q",
+         bench::WirelessClient::kWifiRate),
+      ev(at(0.0), fault::Action::kRate, "3g/q", 1.0e6),
+      ev(at(9.0), fault::Action::kRate, "3g/q", 2.1e6),
+      ev(at(10.5), fault::Action::kRate, "3g/q", 1.4e6),
+  };
+  fault::RecoveryMonitor recovery(events, from_ms(1));
+  recovery.track(*tcp_wifi);
+  recovery.track(*tcp_3g);
+  recovery.track(mp);
+  fault::FaultInjector injector(events, net.fault_targets(), plan,
+                                /*run_seed=*/1, &recovery);
 
   stats::Table table({"t (min)", "TCP-WiFi", "TCP-3G", "MP-WiFi sub",
                       "MP-3G sub", "MP total"});
@@ -94,6 +113,15 @@ void run(trace::SinkKind trace_kind) {
                                            0, mw + mg));
   }
   table.print();
+  recovery.finalize();
+  std::printf(
+      "\nrecovery: %llu outage(s), %llu recover(ies), mean TTR %.4f s, "
+      "degraded %.1f s at %.2fx clean goodput, %llu reinjection(s)\n",
+      static_cast<unsigned long long>(recovery.outages()),
+      static_cast<unsigned long long>(recovery.recoveries()),
+      recovery.mean_ttr_sec(), recovery.degraded_sec(),
+      recovery.degraded_goodput_fraction(),
+      static_cast<unsigned long long>(mp.scheduler().reinjected_total()));
   bt.write();
 }
 

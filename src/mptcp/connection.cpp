@@ -118,6 +118,11 @@ void MptcpConnection::on_data_ack(std::uint64_t data_cum_ack,
   }
 }
 
+void MptcpConnection::reset_subflow(std::size_t r) {
+  MPSIM_CHECK(r < subflows_.size(), "reset_subflow index out of range");
+  subflows_[r]->force_timeout();
+}
+
 void MptcpConnection::on_subflow_rto(
     std::uint32_t subflow_id,
     const std::vector<std::uint64_t>& outstanding) {

@@ -92,6 +92,11 @@ class MptcpConnection : public tcp::SubflowHost,
   // --- EventSource (start trigger) ---
   void on_event() override;
 
+  // Administrative subflow reset (fault injection): the subflow reacts as
+  // if its RTO fired now — min window, go-back-N, backoff — and its
+  // outstanding data becomes eligible for reinjection on siblings.
+  void reset_subflow(std::size_t r);
+
   // --- observability ---
   tcp::Subflow& subflow(std::size_t r) { return *subflows_[r]; }
   const tcp::Subflow& subflow(std::size_t r) const { return *subflows_[r]; }

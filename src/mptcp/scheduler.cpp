@@ -42,6 +42,7 @@ void DataScheduler::reinject(const std::vector<std::uint64_t>& data_seqs) {
     if (accepted == 0) first = seq;
     ++accepted;
   }
+  reinjected_total_ += accepted;
   if (accepted > 0) {
     MPSIM_TRACE(trace_, trace::reinject(trace_events_->now(), trace_id_,
                                         trace_flow_, accepted, first));

@@ -60,6 +60,8 @@ class DataScheduler {
   std::uint64_t next_new() const { return next_new_; }
   std::uint64_t right_edge() const { return right_edge_; }
   std::uint64_t reinject_backlog() const { return reinject_q_.size(); }
+  // Data seqs ever accepted for reinjection (duplicates excluded).
+  std::uint64_t reinjected_total() const { return reinjected_total_; }
 
   bool app_limited() const { return app_limit_ != 0; }
   // All application data sent and acknowledged.
@@ -74,6 +76,7 @@ class DataScheduler {
   std::uint64_t data_cum_ack_ = 0;
   std::deque<std::uint64_t> reinject_q_;
   std::unordered_set<std::uint64_t> reinject_pending_;
+  std::uint64_t reinjected_total_ = 0;
 
   // Flight recorder wiring (set_trace); trace_ != nullptr implies
   // trace_events_ != nullptr.

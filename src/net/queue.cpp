@@ -68,6 +68,29 @@ void Queue::on_event() {
   pkt->advance();
 }
 
+std::size_t Queue::drop_waiting(std::size_t max_pkts) {
+  std::size_t dropped = 0;
+  while (dropped < max_pkts && !fifo_.empty()) {
+    Packet* pkt = fifo_.back();
+    fifo_.pop_back();
+    MPSIM_CHECK(queued_bytes_ >= pkt->size_bytes,
+                "queue byte accounting underflow on fault drop");
+    queued_bytes_ -= pkt->size_bytes;
+    ++drops_;
+    ++dropped;
+    MPSIM_TRACE(trace_,
+                trace::queue_drop(events_.now(), trace_id_, pkt->flow_id,
+                                  pkt->subflow_id, queued_bytes_,
+                                  pkt->size_bytes));
+    pkt->release();
+  }
+  if (dropped > 0) {
+    MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
+                                            queued_bytes_, queued_packets()));
+  }
+  return dropped;
+}
+
 void Queue::reset_stats() {
   arrivals_ = 0;
   drops_ = 0;

@@ -27,6 +27,13 @@ class Queue : public PacketSink, public EventSource {
   void on_event() override;
   const std::string& sink_name() const override { return EventSource::name(); }
 
+  // Fault-injection primitive: drop up to `max_pkts` waiting packets from
+  // the tail (the packet in service is not interrupted). Models buffer
+  // corruption (small counts) and a full drain (SIZE_MAX). Dropped packets
+  // count as drops and emit queue_drop trace records, exactly like
+  // drop-tail losses. Returns how many packets were dropped.
+  std::size_t drop_waiting(std::size_t max_pkts);
+
   // --- statistics ---
   std::uint64_t arrivals() const { return arrivals_; }
   std::uint64_t drops() const { return drops_; }

@@ -1,5 +1,6 @@
 #include "net/variable_rate_queue.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "core/check.hpp"
@@ -43,7 +44,15 @@ void VariableRateQueue::set_rate(double rate_bps) {
       const double total = static_cast<double>(
           from_sec(static_cast<double>(in_service_->size_bytes) * 8.0 /
                    rate_bps_));
-      fraction_done_ += static_cast<double>(now - fraction_as_of_) / total;
+      // A rate so high the whole packet serializes in under 1 ns truncates
+      // `total` to 0; dividing by it would poison fraction_done_ with
+      // NaN/inf and reschedule_head would cast that to SimTime (UB). A
+      // sub-ns transmission is simply finished.
+      if (total > 0.0) {
+        fraction_done_ += static_cast<double>(now - fraction_as_of_) / total;
+      } else {
+        fraction_done_ = 1.0;
+      }
       if (fraction_done_ > 1.0) fraction_done_ = 1.0;
     }
     fraction_as_of_ = now;
@@ -68,6 +77,9 @@ void VariableRateQueue::reschedule_head() {
   const double total = static_cast<double>(from_sec(
       static_cast<double>(in_service_->size_bytes) * 8.0 / rate_bps_));
   const double remaining = (1.0 - fraction_done_) * total;
+  MPSIM_CHECK(std::isfinite(remaining) && remaining >= 0.0,
+              "drain-time computation produced a non-finite or negative "
+              "remaining service time");
   service_done_at_ = events_.now() + static_cast<SimTime>(remaining);
   events_.schedule_at(*this, service_done_at_);
 }

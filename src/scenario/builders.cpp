@@ -485,6 +485,12 @@ class PersistentTraffic final : public TrafficModel {
     return out;
   }
 
+  std::vector<mptcp::MptcpConnection*> mutable_connections() override {
+    std::vector<mptcp::MptcpConnection*> out;
+    for (const auto& c : conns_) out.push_back(c.get());
+    return out;
+  }
+
  private:
   std::vector<FlowSpec> flows_;
   int count_ = -1;
@@ -582,6 +588,12 @@ class MatrixTraffic final : public TrafficModel {
     return out;
   }
 
+  std::vector<mptcp::MptcpConnection*> mutable_connections() override {
+    std::vector<mptcp::MptcpConnection*> out;
+    for (const auto& c : conns_) out.push_back(c.get());
+    return out;
+  }
+
   int host_count() const override { return hosts_; }
 
  private:
@@ -670,6 +682,12 @@ class PoissonTraffic final : public TrafficModel {
 
   std::vector<const mptcp::MptcpConnection*> connections() const override {
     std::vector<const mptcp::MptcpConnection*> out;
+    for (const auto& c : persistent_) out.push_back(c.get());
+    return out;
+  }
+
+  std::vector<mptcp::MptcpConnection*> mutable_connections() override {
+    std::vector<mptcp::MptcpConnection*> out;
     for (const auto& c : persistent_) out.push_back(c.get());
     return out;
   }

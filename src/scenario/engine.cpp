@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "fault/fault.hpp"
+#include "scenario/faults.hpp"
 #include "scenario/registry.hpp"
 #include "stats/goodput.hpp"
 #include "stats/monitors.hpp"
@@ -380,10 +382,32 @@ void execute_run(const ResolvedRun& run, double time_scale,
   const auto conns = traffic->connections();
   for (const auto* c : conns) meter.track(*c);
 
+  // Connections join the fault-target registry under their flow names, so
+  // a [faults] script can reset their subflows.
+  for (auto* c : traffic->mutable_connections()) {
+    net.fault_targets().add_connection(c->name(), *c);
+  }
+  ParsedFaults faults;
+  const Section* faults_sec = spec.find_section("faults");
+  if (faults_sec != nullptr) {
+    faults = parse_fault_plan(*faults_sec, net.fault_targets(), env);
+  }
+
   // Every key must have been read by now — a typo dies here, in dry runs
   // and real ones alike.
   spec.check_all_used();
   if (dry_run) return;
+
+  std::unique_ptr<fault::RecoveryMonitor> recovery;
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!faults.plan.empty()) {
+    recovery = std::make_unique<fault::RecoveryMonitor>(
+        ctx.events(), faults.recovery_poll);
+    for (const auto* c : conns) recovery->track(*c);
+    injector = std::make_unique<fault::FaultInjector>(
+        ctx.events(), net.fault_targets(), faults.plan, run.seed,
+        recovery.get());
+  }
 
   ctx.events().run_until(warmup);
   for (auto* q : topology->queues()) q->reset_stats();
@@ -459,6 +483,25 @@ void execute_run(const ResolvedRun& run, double time_scale,
     }
   }
   traffic->record_metrics(ctx);
+
+  if (injector != nullptr) {
+    recovery->finalize();
+    std::uint64_t reinjections = 0;
+    for (const auto* c : conns) {
+      reinjections += c->scheduler().reinjected_total();
+    }
+    ctx.record("fault_events_applied",
+               static_cast<double>(injector->events_applied()));
+    ctx.record("fault_outages", static_cast<double>(recovery->outages()));
+    ctx.record("fault_recoveries",
+               static_cast<double>(recovery->recoveries()));
+    ctx.record("fault_ttr_mean_s", recovery->mean_ttr_sec());
+    ctx.record("fault_ttr_max_s", recovery->max_ttr_sec());
+    ctx.record("fault_degraded_sec", recovery->degraded_sec());
+    ctx.record("fault_degraded_goodput_fraction",
+               recovery->degraded_goodput_fraction());
+    ctx.record("fault_reinjections", static_cast<double>(reinjections));
+  }
 
   // The machine-readable echo of this run's resolved parameters.
   ctx.annotate("algorithm", algo.name);

@@ -1,0 +1,40 @@
+// The [faults] section of a scenario spec: a declarative fault schedule
+// compiled into a fault::FaultPlan against the run's target registry.
+//
+//   [faults]
+//   script = ["9min down wifi/q",          # time action [args...] target
+//             "10.5min up 5Mbps wifi/q",
+//             "2s rate 1Mbps 3g/q",
+//             "3s ramp 8Mbps 2s 4 link1/q",
+//             "4s loss 0.05 wifi/loss",
+//             "5s loss_burst 0.3 500ms wifi/loss",
+//             "6s drain link2/q",
+//             "7s corrupt 3 link2/q",
+//             "8s reset 0 mp"]
+//   flap = ["link1/q start=1s period=2s down=250ms count=4"]
+//   random_outage = ["wifi/q mean_up=5s mean_down=1s until=30s seed=1"]
+//   recovery_poll = "1ms"                  # TTR probe interval (optional)
+//
+// All times run through BuildEnv::scaled so --scale compresses fault
+// timelines exactly like warmup/measure. Every malformed entry is a
+// SpecError pointing at the offending array item's file:line.
+#pragma once
+
+#include "fault/fault.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+namespace mpsim::scenario {
+
+struct ParsedFaults {
+  fault::FaultPlan plan;
+  SimTime recovery_poll = from_ms(1);
+};
+
+// Compile `sec` (a [faults] section) against the registered targets.
+// Consumes the section's keys; throws SpecError on any malformed entry.
+ParsedFaults parse_fault_plan(const Section& sec,
+                              const fault::TargetRegistry& targets,
+                              const BuildEnv& env);
+
+}  // namespace mpsim::scenario

@@ -107,6 +107,13 @@ class TrafficModel {
   // Connections to meter, in flow order.
   virtual std::vector<const mptcp::MptcpConnection*> connections() const = 0;
 
+  // Same connections, mutably, for fault-target registration (subflow
+  // resets act on the connection). Models that cannot support faults may
+  // keep the default empty list.
+  virtual std::vector<mptcp::MptcpConnection*> mutable_connections() {
+    return {};
+  }
+
   // Denominator for per-host throughput metrics (0 = not applicable).
   virtual int host_count() const { return 0; }
 

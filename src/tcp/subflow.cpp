@@ -264,7 +264,15 @@ void Subflow::on_event() {
   }
   rto_armed_ = false;
   if (snd_una_ >= high_water_) return;  // nothing outstanding after all
+  handle_timeout();
+}
 
+void Subflow::force_timeout() {
+  rto_armed_ = false;
+  handle_timeout();
+}
+
+void Subflow::handle_timeout() {
   // Retransmission timeout. If it strikes mid-recovery, ssthresh was
   // already set from the pre-loss window at recovery entry; recomputing it
   // from the inflated cwnd would wildly overshoot.

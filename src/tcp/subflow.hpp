@@ -102,6 +102,12 @@ class Subflow : public net::PacketSink, public EventSource {
   // EventSource: retransmission timer.
   void on_event() override;
 
+  // Administrative reset (fault injection): react exactly as if the RTO
+  // fired right now — collapse to the minimum window, go-back-N, back off,
+  // and hand the outstanding data to the host for sibling reinjection.
+  // Unlike the timer path this fires even with nothing outstanding.
+  void force_timeout();
+
   // --- inspection ---
   double cwnd() const { return cwnd_; }
   // The congestion window as seen by coupled congestion control. During
@@ -132,6 +138,7 @@ class Subflow : public net::PacketSink, public EventSource {
   void handle_ack(net::Packet& ack);
   void send_packet(std::uint64_t subflow_seq, bool is_retransmit);
   void enter_recovery();
+  void handle_timeout();
   void arm_rto();
   void cancel_rto() { rto_armed_ = false; }
   void clamp_cwnd();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/event_list.hpp"
+#include "fault/fault.hpp"
 #include "net/cbr.hpp"
 #include "net/lossy_link.hpp"
 #include "net/packet.hpp"
@@ -50,6 +51,7 @@ class Network {
                         std::uint64_t buf_bytes) {
     queues_.push_back(
         std::make_unique<net::Queue>(events_, name, rate_bps, buf_bytes));
+    faults_.add_queue(name, *queues_.back());
     return *queues_.back();
   }
 
@@ -58,6 +60,7 @@ class Network {
                                              std::uint64_t buf_bytes) {
     vqueues_.push_back(std::make_unique<net::VariableRateQueue>(
         events_, name, rate_bps, buf_bytes));
+    faults_.add_variable_queue(name, *vqueues_.back());
     return *vqueues_.back();
   }
 
@@ -70,6 +73,7 @@ class Network {
                             std::uint64_t seed) {
     lossy_.push_back(
         std::make_unique<net::LossyLink>(name, loss_prob, seed));
+    faults_.add_lossy(name, *lossy_.back());
     return *lossy_.back();
   }
 
@@ -82,8 +86,24 @@ class Network {
     return link;
   }
 
+  // Like add_link, but with a variable-rate queue so the link is a valid
+  // target for down/up/rate/ramp faults. Identical behaviour at a constant
+  // rate.
+  Link add_variable_link(const std::string& name, double rate_bps,
+                         SimTime delay, std::uint64_t buf_bytes) {
+    Link link;
+    link.queue = &add_variable_queue(name + "/q", rate_bps, buf_bytes);
+    link.pipe = &add_pipe(name + "/p", delay);
+    return link;
+  }
+
+  // Fault-target name -> element map, populated as elements are built.
+  fault::TargetRegistry& fault_targets() { return faults_; }
+  const fault::TargetRegistry& fault_targets() const { return faults_; }
+
  private:
   EventList& events_;
+  fault::TargetRegistry faults_;
   std::vector<std::unique_ptr<net::Queue>> queues_;
   std::vector<std::unique_ptr<net::VariableRateQueue>> vqueues_;
   std::vector<std::unique_ptr<net::Pipe>> pipes_;

@@ -18,6 +18,9 @@
 //   kRcvBuf     a=buffer occupancy pkts, b=advertised window pkts
 //   kReinject   a=data seqs queued for reinjection, b=first such seq
 //   kGoodput    x=delivered goodput since the last sample, Mb/s
+//   kFault      a=fault::Action enum, b=aux (duration ns, packets dropped,
+//               or subflow index per action), x=value (rate bps or drop
+//               probability per action)
 #pragma once
 
 #include <cstdint>
@@ -37,8 +40,9 @@ enum class RecordType : std::uint8_t {
   kRcvBuf,     // receiver shared-buffer occupancy sample
   kReinject,   // data seqs queued for reinjection on sibling subflows
   kGoodput,    // periodic delivered-goodput sample (bench harness)
+  kFault,      // fault-injection action applied to a target
 };
-inline constexpr int kRecordTypeCount = 10;
+inline constexpr int kRecordTypeCount = 11;
 
 // Sender phases, as the paper's Fig. 5-style cwnd plots label them.
 enum class TcpPhase : std::uint8_t {
@@ -195,6 +199,18 @@ inline Record goodput_sample(SimTime t, std::uint16_t obj,
   r.flow = flow;
   r.sub = sub;
   r.x = mbps;
+  return r;
+}
+
+inline Record fault_event(SimTime t, std::uint16_t obj, std::uint32_t action,
+                          double value, std::uint64_t aux) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kFault;
+  r.obj = obj;
+  r.a = action;
+  r.b = aux;
+  r.x = value;
   return r;
 }
 

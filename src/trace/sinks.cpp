@@ -45,6 +45,7 @@ const char* record_type_name(RecordType t) {
     case RecordType::kRcvBuf: return "rcv_buf";
     case RecordType::kReinject: return "reinject";
     case RecordType::kGoodput: return "goodput";
+    case RecordType::kFault: return "fault";
   }
   return "unknown";
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/check.hpp"
 #include "core/event_list.hpp"
 #include "net/cbr.hpp"
 #include "net/packet.hpp"
@@ -119,6 +120,57 @@ TEST(VariableRateQueue, DropsStillApplyDuringOutage) {
   q.set_rate(0.0);
   for (int i = 0; i < 5; ++i) make_data(events).send_on(route);
   EXPECT_EQ(q.drops(), 3u);
+}
+
+TEST(VariableRateQueue, ExtremeRateMidServiceStaysFinite) {
+  // Regression: a rate jump so large that the remaining service time
+  // truncates to zero nanoseconds used to divide 0-by-0 when banking the
+  // transmitted fraction (fraction_done_ went NaN, and the next
+  // reschedule cast the NaN to SimTime — UB). The packet must simply be
+  // treated as done and depart, with every internal quantity finite.
+  ScopedThrowingChecks throwing;
+  EventList events;
+  CountingSink sink("sink");
+  VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
+  Route route({&q, &sink});
+  make_data(events).send_on(route);
+  RateChanger warp(q, 1e15);  // sub-nanosecond residual service time
+  events.schedule_at(warp, from_us(500));
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 1u);
+
+  // The queue keeps working afterwards: a second packet at a sane rate
+  // serves in the normal 1 ms.
+  RateChanger sane(q, 12e6);
+  events.schedule_at(sane, events.now() + 1);
+  events.run_all();
+  const SimTime before = events.now();
+  make_data(events).send_on(route);
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 2u);
+  EXPECT_EQ(events.now(), before + from_ms(1));
+}
+
+TEST(VariableRateQueue, RepeatedZeroAndExtremeFlipsStayConsistent) {
+  // set_rate(0) mid-transmission followed by extreme restores, repeated:
+  // the banked-fraction bookkeeping must survive arbitrary interleaving.
+  ScopedThrowingChecks throwing;
+  EventList events;
+  CountingSink sink("sink");
+  VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
+  Route route({&q, &sink});
+  for (int i = 0; i < 3; ++i) make_data(events).send_on(route);
+  RateChanger off1(q, 0.0);
+  RateChanger warp(q, 1e15);
+  RateChanger off2(q, 0.0);
+  RateChanger norm(q, 12e6);
+  events.schedule_at(off1, from_us(300));
+  events.schedule_at(warp, from_us(900));
+  events.schedule_at(off2, from_us(901));
+  events.schedule_at(norm, from_ms(2));
+  events.run_all();
+  EXPECT_EQ(sink.packets(), 3u);
+  EXPECT_FALSE(q.in_outage());
 }
 
 TEST(RateSchedule, AppliesChangesInOrder) {

@@ -30,7 +30,7 @@ NUM_COLS = 10
 # Must match record_type_name() in src/trace/sinks.cpp.
 RECORD_TYPES = {
     "cwnd", "state", "queue", "queue_drop", "link_drop",
-    "rate", "data_ack", "rcv_buf", "reinject", "goodput",
+    "rate", "data_ack", "rcv_buf", "reinject", "goodput", "fault",
 }
 MAX_PHASE = 3  # TcpPhase::kRtoRecovery
 

@@ -43,7 +43,14 @@ int usage() {
                "  --trace=KIND    csv|jsonl|null|off; overrides MPSIM_TRACE "
                "and [output] trace\n"
                "  --trace-dir=D   directory for trace_<run>.* files "
-               "(default \".\")\n");
+               "(default \".\")\n"
+               "\n"
+               "specs may carry a [faults] section (scripted link "
+               "down/up/rate/ramp,\nloss bursts, queue drain/corrupt, "
+               "subflow resets, flap trains, seeded\nrandom outages); "
+               "fault runs report recovery metrics (fault_outages,\n"
+               "fault_ttr_mean_s, ...) alongside the ordinary ones. See "
+               "README.md.\n");
   return 1;
 }
 
