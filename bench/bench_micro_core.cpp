@@ -5,11 +5,13 @@
 // afford.
 //
 // After the google-benchmark suites, main() runs a head-to-head scheduler
-// comparison (binary heap vs timing wheel) through the ExperimentRunner and
-// writes BENCH_micro_core.json. The headline number is
-// dispatch.wheel_speedup: timing-wheel events/sec over binary-heap
-// events/sec on the same dispatch workload — the regression gate for the
-// scheduler hot path.
+// comparison (binary heap vs timing wheel vs adaptive) through the
+// ExperimentRunner and writes BENCH_micro_core.json. The headline numbers:
+// dispatch.wheel_speedup (timing-wheel over binary-heap events/sec on the
+// dense dispatch workload) and the two adaptive_vs_best ratios — the
+// adaptive backend's events/sec over the better pure backend on the dense
+// (32k-source dispatch) and sparse (tcp_1flow) workloads, which the perf
+// gate keeps near 1.0.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -75,6 +77,10 @@ BENCHMARK_CAPTURE(BM_EventListDispatch, heap, SchedulerKind::kHeap)
     ->Arg(1024)
     ->Arg(4096);
 BENCHMARK_CAPTURE(BM_EventListDispatch, wheel, SchedulerKind::kWheel)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_EventListDispatch, adaptive, SchedulerKind::kAdaptive)
     ->Arg(64)
     ->Arg(1024)
     ->Arg(4096);
@@ -144,6 +150,8 @@ BENCHMARK_CAPTURE(BM_SmallTcpSimulation, heap, SchedulerKind::kHeap)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_SmallTcpSimulation, wheel, SchedulerKind::kWheel)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SmallTcpSimulation, adaptive, SchedulerKind::kAdaptive)
+    ->Unit(benchmark::kMillisecond);
 
 // --- JSON scheduler comparison ------------------------------------------
 
@@ -192,6 +200,8 @@ bench::Json json_side(const runner::RunResult& r) {
         static_cast<double>(r.metrics.events_processed));
   o.set("wall_seconds", r.metrics.wall_seconds);
   o.set("events_per_sec", r.metrics.events_per_sec);
+  o.set("scheduler_switches",
+        static_cast<double>(r.metrics.scheduler_switches));
   return o;
 }
 
@@ -206,9 +216,10 @@ void scheduler_comparison_json() {
   const int nsrc = 32768;
   const double tcp_sec = 20.0 * scale;
 
-  std::printf("\n--- scheduler comparison (heap vs timing wheel) ---\n");
+  std::printf(
+      "\n--- scheduler comparison (heap vs wheel vs adaptive) ---\n");
   // Interleaved best-of-N: scheduler cost is deterministic, so the fastest
-  // trial is the least-perturbed one; interleaving decorrelates the two
+  // trial is the least-perturbed one; interleaving decorrelates the
   // sides from background machine noise.
   constexpr int kTrials = 3;
   auto best = [](const runner::RunResult& a, const runner::RunResult& b) {
@@ -218,7 +229,7 @@ void scheduler_comparison_json() {
                ? b
                : a;
   };
-  runner::RunResult heap_d, wheel_d, heap_t, wheel_t;
+  runner::RunResult heap_d, wheel_d, adapt_d, heap_t, wheel_t, adapt_t;
   for (int trial = 0; trial < kTrials; ++trial) {
     heap_d = best(heap_d, measure_dispatch(SchedulerKind::kHeap,
                                            "dispatch:heap", dispatch_events,
@@ -226,10 +237,15 @@ void scheduler_comparison_json() {
     wheel_d = best(wheel_d, measure_dispatch(SchedulerKind::kWheel,
                                              "dispatch:wheel",
                                              dispatch_events, nsrc));
+    adapt_d = best(adapt_d, measure_dispatch(SchedulerKind::kAdaptive,
+                                             "dispatch:adaptive",
+                                             dispatch_events, nsrc));
     heap_t = best(heap_t,
                   measure_tcp(SchedulerKind::kHeap, "tcp:heap", tcp_sec));
     wheel_t = best(wheel_t,
                    measure_tcp(SchedulerKind::kWheel, "tcp:wheel", tcp_sec));
+    adapt_t = best(adapt_t, measure_tcp(SchedulerKind::kAdaptive,
+                                        "tcp:adaptive", tcp_sec));
   }
 
   const double dispatch_speedup =
@@ -240,27 +256,47 @@ void scheduler_comparison_json() {
       heap_t.metrics.events_per_sec > 0
           ? wheel_t.metrics.events_per_sec / heap_t.metrics.events_per_sec
           : 0.0;
+  // The adaptive contract: at least the better pure backend on BOTH the
+  // dense and the sparse workload (ratio ~1.0; the perf gate flags drops).
+  const double best_d = std::max(heap_d.metrics.events_per_sec,
+                                 wheel_d.metrics.events_per_sec);
+  const double best_t = std::max(heap_t.metrics.events_per_sec,
+                                 wheel_t.metrics.events_per_sec);
+  const double adapt_vs_best_d =
+      best_d > 0 ? adapt_d.metrics.events_per_sec / best_d : 0.0;
+  const double adapt_vs_best_t =
+      best_t > 0 ? adapt_t.metrics.events_per_sec / best_t : 0.0;
 
-  std::printf("dispatch (%d sources): heap %.3g ev/s, wheel %.3g ev/s, "
-              "wheel speedup %.2fx\n",
+  std::printf("dispatch (%d sources): heap %.3g ev/s, wheel %.3g ev/s "
+              "(%.2fx), adaptive %.3g ev/s (%.2fx of best, %llu switches)\n",
               nsrc, heap_d.metrics.events_per_sec,
-              wheel_d.metrics.events_per_sec, dispatch_speedup);
-  std::printf("tcp %.3gs sim: heap %.3g ev/s, wheel %.3g ev/s, "
-              "wheel speedup %.2fx\n",
+              wheel_d.metrics.events_per_sec, dispatch_speedup,
+              adapt_d.metrics.events_per_sec, adapt_vs_best_d,
+              static_cast<unsigned long long>(
+                  adapt_d.metrics.scheduler_switches));
+  std::printf("tcp %.3gs sim: heap %.3g ev/s, wheel %.3g ev/s (%.2fx), "
+              "adaptive %.3g ev/s (%.2fx of best, %llu switches)\n",
               tcp_sec, heap_t.metrics.events_per_sec,
-              wheel_t.metrics.events_per_sec, tcp_speedup);
+              wheel_t.metrics.events_per_sec, tcp_speedup,
+              adapt_t.metrics.events_per_sec, adapt_vs_best_t,
+              static_cast<unsigned long long>(
+                  adapt_t.metrics.scheduler_switches));
 
   bench::Json dispatch = bench::Json::object();
   dispatch.set("sources", static_cast<double>(nsrc));
   dispatch.set("heap", json_side(heap_d));
   dispatch.set("wheel", json_side(wheel_d));
+  dispatch.set("adaptive", json_side(adapt_d));
   dispatch.set("wheel_speedup", dispatch_speedup);
+  dispatch.set("adaptive_vs_best", adapt_vs_best_d);
 
   bench::Json tcp = bench::Json::object();
   tcp.set("sim_seconds", tcp_sec);
   tcp.set("heap", json_side(heap_t));
   tcp.set("wheel", json_side(wheel_t));
+  tcp.set("adaptive", json_side(adapt_t));
   tcp.set("wheel_speedup", tcp_speedup);
+  tcp.set("adaptive_vs_best", adapt_vs_best_t);
 
   bench::Json root = bench::Json::object();
   root.set("bench", "micro_core");

@@ -1,49 +1,41 @@
 #include "cc/mptcp_lia.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <vector>
 
 #include "core/check.hpp"
 
 namespace mpsim::cc {
 
 namespace {
-// Shared scratch state would make the algorithm non-const/non-reentrant;
-// the vectors here are tiny (n <= 16 paths in practice) so per-call stack
-// allocation is cheap relative to the packet-processing around it.
-std::vector<double> snapshot_windows(const ConnectionView& c) {
-  std::vector<double> w(c.num_subflows());
-  for (std::size_t r = 0; r < w.size(); ++r) {
-    w[r] = c.cwnd_pkts(r);
-    MPSIM_CHECK(w[r] > 0.0,
-                "congestion window must stay positive (>= min_cwnd)");
-  }
-  return w;
-}
-
-std::vector<double> snapshot_rtts(const ConnectionView& c) {
-  std::vector<double> rtt(c.num_subflows());
-  for (std::size_t r = 0; r < rtt.size(); ++r) {
-    rtt[r] = c.srtt_sec(r);
-    MPSIM_CHECK(rtt[r] > 0.0, "smoothed RTT must be positive");
-  }
-  return rtt;
-}
+// Connections with more paths than this (none of the paper's scenarios;
+// a guard for future path-manager workloads) take a heap-allocating slow
+// path instead of the stack buffers the per-ACK fast path uses.
+constexpr std::size_t kInlinePaths = 32;
 }  // namespace
 
-double MptcpLia::increase_linear(const std::vector<double>& windows,
-                                 const std::vector<double>& rtts,
+double MptcpLia::increase_linear(std::span<const double> windows,
+                                 std::span<const double> rtts,
                                  std::size_t r) {
   const std::size_t n = windows.size();
   MPSIM_CHECK(rtts.size() == n && r < n, "window/RTT vectors out of step");
 
   // Order subflows by w/RTT^2 ascending. Note (sqrt(w)/RTT)^2 = w/RTT^2, so
-  // this is the appendix's sqrt(w_s)/RTT_s ordering.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  // this is the appendix's sqrt(w_s)/RTT_s ordering. Runs once per ACK:
+  // index scratch stays on the stack for realistic path counts.
+  std::array<std::size_t, kInlinePaths> order_buf;
+  std::vector<std::size_t> order_spill;
+  std::size_t* order = order_buf.data();
+  if (n > kInlinePaths) {
+    order_spill.resize(n);
+    order = order_spill.data();
+  }
+  std::iota(order, order + n, std::size_t{0});
+  std::sort(order, order + n, [&](std::size_t a, std::size_t b) {
     return windows[a] / (rtts[a] * rtts[a]) < windows[b] / (rtts[b] * rtts[b]);
   });
 
@@ -64,8 +56,8 @@ double MptcpLia::increase_linear(const std::vector<double>& windows,
   return best;
 }
 
-double MptcpLia::increase_bruteforce(const std::vector<double>& windows,
-                                     const std::vector<double>& rtts,
+double MptcpLia::increase_bruteforce(std::span<const double> windows,
+                                     std::span<const double> rtts,
                                      std::size_t r) {
   const std::size_t n = windows.size();
   MPSIM_CHECK(n <= 20, "brute force is exponential; test use only");
@@ -86,8 +78,30 @@ double MptcpLia::increase_bruteforce(const std::vector<double>& windows,
 
 double MptcpLia::increase_per_ack(const ConnectionView& c,
                                   std::size_t r) const {
-  const double inc =
-      increase_linear(snapshot_windows(c), snapshot_rtts(c), r);
+  // Snapshot the per-path state into stack buffers: this runs once per ACK,
+  // and heap-allocating vectors here showed up in the FatTree profile.
+  const std::size_t n = c.num_subflows();
+  std::array<double, kInlinePaths> w_buf;
+  std::array<double, kInlinePaths> rtt_buf;
+  std::vector<double> w_spill;
+  std::vector<double> rtt_spill;
+  double* w = w_buf.data();
+  double* rtt = rtt_buf.data();
+  if (n > kInlinePaths) {
+    w_spill.resize(n);
+    rtt_spill.resize(n);
+    w = w_spill.data();
+    rtt = rtt_spill.data();
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    w[s] = c.cwnd_pkts(s);
+    MPSIM_CHECK(w[s] > 0.0,
+                "congestion window must stay positive (>= min_cwnd)");
+    rtt[s] = c.srtt_sec(s);
+    MPSIM_CHECK(rtt[s] > 0.0, "smoothed RTT must be positive");
+  }
+  const double inc = increase_linear(std::span<const double>(w, n),
+                                     std::span<const double>(rtt, n), r);
   // Eq. (1): the minimum over subsets containing r is bounded by the
   // singleton-equivalent term, i.e. never more aggressive than 1/w_r.
   MPSIM_CHECK(inc > 0.0 && inc <= 1.0 / c.cwnd_pkts(r) + 1e-12,

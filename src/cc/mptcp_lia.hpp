@@ -19,7 +19,7 @@
 #pragma once
 
 #include <cstddef>
-#include <vector>
+#include <span>
 
 #include "cc/congestion_control.hpp"
 
@@ -31,13 +31,14 @@ class MptcpLia : public CongestionControl {
   double window_after_loss(const ConnectionView& c, std::size_t r) const override;
   std::string name() const override { return "MPTCP"; }
 
-  // Evaluate eq. (1) directly from window/RTT vectors. `windows` in packets,
-  // `rtts` in seconds. Exposed for tests and the fluid model.
-  static double increase_linear(const std::vector<double>& windows,
-                                const std::vector<double>& rtts,
-                                std::size_t r);
-  static double increase_bruteforce(const std::vector<double>& windows,
-                                    const std::vector<double>& rtts,
+  // Evaluate eq. (1) directly from window/RTT spans (std::vector converts
+  // implicitly). `windows` in packets, `rtts` in seconds. Exposed for tests
+  // and the fluid model; increase_per_ack calls the linear form per ACK, so
+  // it must not allocate for typical path counts.
+  static double increase_linear(std::span<const double> windows,
+                                std::span<const double> rtts, std::size_t r);
+  static double increase_bruteforce(std::span<const double> windows,
+                                    std::span<const double> rtts,
                                     std::size_t r);
 };
 

@@ -1,0 +1,15 @@
+#include "core/arena.hpp"
+
+namespace mpsim {
+
+SimArena& SimArena::of(EventList& events) {
+  // kArenaSlot holds a SimArena or nothing, so the downcast is safe without
+  // RTTI (same scheme as the packet pool).
+  if (EventList::Service* s = events.service(EventList::kArenaSlot)) {
+    return static_cast<SimArena&>(*s);
+  }
+  return static_cast<SimArena&>(
+      events.attach_service(EventList::kArenaSlot, std::make_unique<SimArena>()));
+}
+
+}  // namespace mpsim

@@ -1,0 +1,107 @@
+// SoA arena for per-simulation hot state.
+//
+// The per-ACK and per-dequeue hot paths used to chase Subflow/Queue object
+// pointers scattered across the heap: the coupled congestion controller
+// reads every sibling subflow's window and smoothed RTT on each ACK
+// (eq. (1) of the paper iterates all r in the increase term), and the
+// runner's aggregate metrics sweep every queue. SimArena packs exactly that
+// state into dense, cache-line-sized rows indexed by small ids, allocated
+// per EventList (so parallel runner jobs share nothing). Objects keep their
+// interfaces and hold a reference to their row; cold state stays on the
+// object.
+//
+// Storage is chunked (fixed-size arrays of rows) rather than one
+// std::vector so rows never move: components cache `SubflowHot&` at
+// construction, and connections can join a *running* simulation (Poisson
+// arrivals construct subflows from event callbacks) without invalidating
+// references held by objects already in the event loop. Rows constructed
+// consecutively (e.g. one connection's subflows) land consecutively in the
+// same chunk, which is what the per-ACK sibling sweep iterates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/event_list.hpp"
+#include "core/time.hpp"
+
+namespace mpsim {
+
+// Per-subflow congestion state, one 64-byte cache line per subflow. Written
+// by tcp::Subflow (the owning object), read by the congestion controller's
+// per-ACK sibling sweep via mptcp::MptcpConnection.
+struct alignas(64) SubflowHot {
+  double cwnd = 0.0;           // packets
+  double ssthresh = 0.0;       // packets
+  SimTime srtt = 0;            // mirror of RttEstimator::srtt()
+  SimTime rto = 0;             // mirror of RttEstimator::rto()
+  std::uint64_t snd_una = 0;   // first unacked subflow seq
+  std::uint64_t snd_nxt = 0;   // next subflow seq to send
+  std::uint32_t in_recovery = 0;  // bool; 32-bit to keep the row packed
+  std::uint32_t rtt_valid = 0;    // RttEstimator::has_sample()
+};
+static_assert(sizeof(SubflowHot) == 64, "one cache line per subflow");
+
+// Per-queue occupancy and flow counters, one cache line per queue. Written
+// by net::Queue on every arrival/departure.
+struct alignas(64) QueueHot {
+  std::uint64_t queued_bytes = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t bytes_forwarded = 0;
+};
+static_assert(sizeof(QueueHot) == 64, "one cache line per queue");
+
+class SimArena final : public EventList::Service {
+ public:
+  // The arena of `events`, attached lazily on first use (like the packet
+  // pool): the first Subflow or Queue built on a simulation creates it.
+  static SimArena& of(EventList& events);
+
+  std::uint32_t add_subflow() { return subflows_.add(); }
+  SubflowHot& subflow(std::uint32_t id) { return subflows_[id]; }
+  const SubflowHot& subflow(std::uint32_t id) const { return subflows_[id]; }
+  std::uint32_t num_subflows() const { return subflows_.size(); }
+
+  std::uint32_t add_queue() { return queues_.add(); }
+  QueueHot& queue(std::uint32_t id) { return queues_[id]; }
+  const QueueHot& queue(std::uint32_t id) const { return queues_[id]; }
+  std::uint32_t num_queues() const { return queues_.size(); }
+
+ private:
+  // A growable column of rows with stable addresses: chunks are allocated
+  // once and never moved or freed until the arena dies. 64 rows x 64 bytes
+  // = one 4 KiB page per chunk.
+  template <typename T>
+  class Column {
+   public:
+    std::uint32_t add() {
+      if ((count_ & kMask) == 0) {
+        chunks_.push_back(std::make_unique<Chunk>());
+      }
+      return count_++;
+    }
+    T& operator[](std::uint32_t id) {
+      return (*chunks_[id >> kShift])[id & kMask];
+    }
+    const T& operator[](std::uint32_t id) const {
+      return (*chunks_[id >> kShift])[id & kMask];
+    }
+    std::uint32_t size() const { return count_; }
+
+   private:
+    static constexpr std::uint32_t kShift = 6;
+    static constexpr std::uint32_t kMask = (1u << kShift) - 1;
+    using Chunk = std::array<T, kMask + 1>;
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::uint32_t count_ = 0;
+  };
+
+  Column<SubflowHot> subflows_;
+  Column<QueueHot> queues_;
+};
+
+}  // namespace mpsim

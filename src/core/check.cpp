@@ -27,12 +27,18 @@ thread_local CheckHandler g_handler = nullptr;
 
 }  // namespace
 
-bool checks_enabled() {
-  static const bool enabled = [] {
-    return env::env_choice("MPSIM_CHECKS", "on", {"on", "off"}) != "off";
-  }();
+namespace detail {
+
+std::atomic<int> g_checks_state{0};
+
+bool checks_enabled_slow() {
+  const bool enabled =
+      env::env_choice("MPSIM_CHECKS", "on", {"on", "off"}) != "off";
+  g_checks_state.store(enabled ? 1 : 2, std::memory_order_relaxed);
   return enabled;
 }
+
+}  // namespace detail
 
 void check_failed(const char* file, int line, const char* expr,
                   const char* msg) {

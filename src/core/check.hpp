@@ -21,13 +21,28 @@
 // handler installed on the test thread never leaks into workers.
 #pragma once
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
 namespace mpsim {
 
+namespace detail {
+// 0 = not yet read from the environment, 1 = on, 2 = off. Zero-initialized,
+// so it is safe to query during static initialization; relaxed is enough
+// because every writer stores the same value (derived from the same env).
+extern std::atomic<int> g_checks_state;
+bool checks_enabled_slow();
+}  // namespace detail
+
 // True unless the environment says MPSIM_CHECKS=off (cached on first call).
-bool checks_enabled();
+// Inline fast path: MPSIM_CHECK sites compile to a single load + predicted
+// branch instead of a function call (this gate runs ~10x per event).
+inline bool checks_enabled() {
+  const int s = detail::g_checks_state.load(std::memory_order_relaxed);
+  if (s != 0) [[likely]] return s == 1;
+  return detail::checks_enabled_slow();
+}
 
 // Called on a failed check. Must not return; if it does, the process aborts.
 using CheckHandler = void (*)(const char* file, int line, const char* expr,

@@ -5,18 +5,77 @@
 
 namespace mpsim {
 
+const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kAuto: return "auto";
+    case SchedulerKind::kHeap: return "heap";
+    case SchedulerKind::kWheel: return "wheel";
+    case SchedulerKind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
 SchedulerKind EventList::default_scheduler() {
   static const SchedulerKind kind = [] {
-    const std::string s =
-        env::env_choice("MPSIM_SCHEDULER", "wheel", {"wheel", "heap"});
-    return s == "heap" ? SchedulerKind::kHeap : SchedulerKind::kWheel;
+    const std::string s = env::env_choice("MPSIM_SCHEDULER", "adaptive",
+                                          {"adaptive", "wheel", "heap"});
+    if (s == "heap") return SchedulerKind::kHeap;
+    if (s == "wheel") return SchedulerKind::kWheel;
+    return SchedulerKind::kAdaptive;
   }();
   return kind;
 }
 
 EventList::EventList(SchedulerKind kind) {
   if (kind == SchedulerKind::kAuto) kind = default_scheduler();
+  mode_ = kind;
+  // kAdaptive starts on the heap: simulations begin sparse (topology
+  // construction schedules a handful of timers) and the first high-water
+  // crossing migrates to a wheel.
+  // mpsim-lint: allow(arena-discipline) — once per EventList, not per event
   if (kind == SchedulerKind::kWheel) wheel_ = std::make_unique<TimingWheel>();
+}
+
+void EventList::set_adaptive_policy(std::size_t high, std::size_t low,
+                                    std::uint64_t cooldown) {
+  MPSIM_CHECK(high > low, "adaptive hysteresis needs high > low");
+  high_water_ = high;
+  low_water_ = low;
+  cooldown_ = cooldown;
+}
+
+void EventList::switch_to_wheel() {
+  MPSIM_CHECK(!wheel_, "already on the wheel backend");
+  // Anchor the fresh wheel at the current clock so near-term entries land
+  // on level 0. The heap drains in (time, seq) order; per-slot seqs may
+  // arrive out of order (a slot spans many times at higher levels), which
+  // the wheel's lazy slot sort absorbs.
+  // mpsim-lint: allow(arena-discipline) — once per migration, not per event
+  wheel_ = std::make_unique<TimingWheel>(static_cast<std::uint64_t>(now_));
+  while (!heap_.empty()) {
+    const Entry& e = heap_.top();
+    wheel_->schedule(e.time, e.seq, e.src);
+    heap_.pop();
+  }
+  ++switches_;
+  last_switch_processed_ = processed_;
+}
+
+void EventList::switch_to_heap() {
+  MPSIM_CHECK(wheel_, "already on the heap backend");
+  std::vector<Entry> keep;
+  std::vector<TimingWheel::Entry> pending;
+  wheel_->drain(pending);
+  keep.reserve(pending.size());
+  for (const TimingWheel::Entry& e : pending) {
+    keep.push_back(Entry{e.time, e.seq, e.src});
+  }
+  // Re-heapify in one O(n) pass; (time, seq) keys are untouched, so pop
+  // order is exactly what the wheel would have produced.
+  heap_ = decltype(heap_)(std::greater<>(), std::move(keep));
+  wheel_.reset();
+  ++switches_;
+  last_switch_processed_ = processed_;
 }
 
 EventList::Service& EventList::attach_service(std::size_t slot,
@@ -47,16 +106,6 @@ std::size_t EventList::cancel(const EventSource& src) {
   return removed;
 }
 
-void EventList::schedule_at(EventSource& src, SimTime t) {
-  MPSIM_CHECK(t >= now_, "cannot schedule in the past (clock rollback)");
-  if (t < now_) t = now_;  // degrade gracefully when checks are off
-  if (wheel_) {
-    wheel_->schedule(t, next_seq_++, &src);
-  } else {
-    heap_.push(Entry{t, next_seq_++, &src});
-  }
-}
-
 bool EventList::run_one() {
   if (wheel_) {
     if (wheel_->empty()) return false;
@@ -65,6 +114,7 @@ bool EventList::run_one() {
     now_ = e.time;
     ++processed_;
     e.src->on_event();
+    after_dispatch();
     return true;
   }
   if (heap_.empty()) return false;
@@ -78,16 +128,26 @@ bool EventList::run_one() {
 }
 
 void EventList::run_until(SimTime t) {
-  if (wheel_) {
-    TimingWheel::Entry e;
-    while (wheel_->pop_if_before(t, e)) {
+  // Re-test the active backend every iteration: on_event() may schedule
+  // (crossing the high-water mark) and after_dispatch() may drain the wheel
+  // below the low-water mark, so under kAdaptive the backend can flip
+  // mid-loop.
+  for (;;) {
+    if (wheel_) {
+      TimingWheel::Entry e;
+      if (!wheel_->pop_if_before(t, e)) break;
       now_ = e.time;
       ++processed_;
       e.src->on_event();
-    }
-  } else {
-    while (!heap_.empty() && heap_.top().time <= t) {
-      run_one();
+      after_dispatch();
+    } else {
+      if (heap_.empty() || heap_.top().time > t) break;
+      const Entry e = heap_.top();
+      heap_.pop();
+      MPSIM_CHECK(e.time >= now_, "event clock must advance monotonically");
+      now_ = e.time;
+      ++processed_;
+      e.src->on_event();
     }
   }
   if (now_ < t) now_ = t;

@@ -5,13 +5,22 @@
 // on the EventList. Ties are broken by insertion order so runs are fully
 // deterministic.
 //
-// Two interchangeable backends implement the queue:
+// Two interchangeable backends implement the queue, plus a policy that
+// switches between them at run time:
 //   * kWheel — hierarchical timing wheel (core/timing_wheel.hpp), amortized
-//     O(1) schedule/dispatch; the default.
-//   * kHeap  — binary heap, O(log n) per operation; kept as a cross-checked
-//     fallback (tests assert both dispatch identical event orders).
-// kAuto resolves from the MPSIM_SCHEDULER environment variable ("wheel" or
-// "heap"), defaulting to the wheel.
+//     O(1) schedule/dispatch; wins when many events are pending.
+//   * kHeap  — binary heap, O(log n) per operation; wins on sparse queues
+//     (a handful of timers), and is cross-checked against the wheel (tests
+//     assert both dispatch identical event orders).
+//   * kAdaptive — starts on the heap and migrates pending events to a wheel
+//     when live occupancy crosses a high-water mark, back when it falls
+//     under a low-water mark (hysteresis plus an events-processed cooldown
+//     so a workload hovering at the boundary cannot thrash). Migration
+//     preserves every (time, seq) key, so dispatch order — and therefore
+//     every trace byte — is identical to both pure backends; only wall
+//     time and scheduler_switches() differ. The default.
+// kAuto resolves from the MPSIM_SCHEDULER environment variable ("adaptive",
+// "wheel" or "heap"), defaulting to adaptive.
 //
 // Cancellation is lazy on the hot path: a source that no longer wants a
 // pending wake-up simply ignores the callback (sources track their own next
@@ -33,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "core/check.hpp"
 #include "core/time.hpp"
 #include "core/timing_wheel.hpp"
 
@@ -59,10 +69,14 @@ class EventSource {
 };
 
 enum class SchedulerKind {
-  kAuto,   // resolve from MPSIM_SCHEDULER, default kWheel
-  kHeap,   // binary heap (the original backend)
-  kWheel,  // hierarchical timing wheel
+  kAuto,      // resolve from MPSIM_SCHEDULER, default kAdaptive
+  kHeap,      // binary heap (the original backend)
+  kWheel,     // hierarchical timing wheel
+  kAdaptive,  // heap <-> wheel, switched on live occupancy
 };
+
+// "auto", "heap", "wheel" or "adaptive" — the MPSIM_SCHEDULER spellings.
+const char* to_string(SchedulerKind kind);
 
 class EventList {
  public:
@@ -71,10 +85,25 @@ class EventList {
   EventList(const EventList&) = delete;
   EventList& operator=(const EventList&) = delete;
 
-  // The backend this instance runs on (kHeap or kWheel, never kAuto).
-  SchedulerKind scheduler_kind() const {
+  // The scheduler this instance was configured with (kHeap, kWheel or
+  // kAdaptive — never kAuto; that resolves at construction).
+  SchedulerKind scheduler_kind() const { return mode_; }
+  // The backend currently dispatching (kHeap or kWheel). Equal to
+  // scheduler_kind() for the pure backends; flips over time under
+  // kAdaptive.
+  SchedulerKind active_backend() const {
     return wheel_ ? SchedulerKind::kWheel : SchedulerKind::kHeap;
   }
+  // How many heap<->wheel migrations have happened (0 for pure backends).
+  // Deterministic for a given run: it depends only on the schedule/dispatch
+  // sequence, never on wall time or thread interleaving.
+  std::uint64_t scheduler_switches() const { return switches_; }
+  // Override the adaptive thresholds (test hook; also usable for tuning).
+  // Pending >= `high` on the heap migrates to a wheel; pending <= `low` on
+  // the wheel migrates back; at least `cooldown` dispatched events must
+  // separate consecutive switches. Requires high > low.
+  void set_adaptive_policy(std::size_t high, std::size_t low,
+                           std::uint64_t cooldown);
   // What kAuto resolves to for new EventLists (reads MPSIM_SCHEDULER once).
   static SchedulerKind default_scheduler();
 
@@ -127,13 +156,17 @@ class EventList {
   //                       TraceRecorder::install() before the topology is
   //                       built (instrumented objects capture the pointer
   //                       at construction).
+  //   kArenaSlot          SimArena (core/arena.hpp), attached lazily by the
+  //                       first Subflow/Queue built on this simulation; the
+  //                       SoA home of per-subflow and per-queue hot state.
   class Service {
    public:
     virtual ~Service() = default;
   };
   static constexpr std::size_t kPacketPoolSlot = 0;
   static constexpr std::size_t kTraceRecorderSlot = 1;
-  static constexpr std::size_t kServiceSlots = 2;
+  static constexpr std::size_t kArenaSlot = 2;
+  static constexpr std::size_t kServiceSlots = 3;
 
   Service* service(std::size_t slot) const { return services_[slot].get(); }
   Service& attach_service(std::size_t slot, std::unique_ptr<Service> s);
@@ -149,13 +182,56 @@ class EventList {
     }
   };
 
+  // True when kAdaptive may migrate right now: outside the cooldown window
+  // (or before the first switch ever).
+  bool switch_allowed() const {
+    return switches_ == 0 || processed_ - last_switch_processed_ >= cooldown_;
+  }
+  void switch_to_wheel();  // heap -> wheel, preserving (time, seq) keys
+  void switch_to_heap();   // wheel -> heap, preserving (time, seq) keys
+  // Post-dispatch hook: under kAdaptive, fall back to the heap once the
+  // wheel has drained to the low-water mark.
+  void after_dispatch() {
+    if (mode_ == SchedulerKind::kAdaptive && wheel_ &&
+        wheel_->size() <= low_water_ && switch_allowed()) {
+      switch_to_heap();
+    }
+  }
+
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unique_ptr<TimingWheel> wheel_;  // non-null iff the wheel backend
+  std::unique_ptr<TimingWheel> wheel_;  // non-null iff the wheel is active
   std::array<std::unique_ptr<Service>, kServiceSlots> services_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::uint32_t next_flow_id_ = 1;
+  SchedulerKind mode_ = SchedulerKind::kHeap;  // resolved, never kAuto
+  // Adaptive policy. The defaults bracket the measured heap/wheel crossover
+  // (BENCH_micro_core: the wheel wins from a few thousand pending events
+  // up, the heap below a few hundred) with a wide hysteresis band; the
+  // cooldown bounds migration frequency to once per 8k dispatches even if
+  // occupancy oscillates across both marks.
+  std::size_t high_water_ = 2048;
+  std::size_t low_water_ = 256;
+  std::uint64_t cooldown_ = 8192;
+  std::uint64_t switches_ = 0;
+  std::uint64_t last_switch_processed_ = 0;
 };
+
+// Inline: one call per scheduled event — for simulations pushing tens of
+// millions of events the extra call layer is measurable in the profile.
+inline void EventList::schedule_at(EventSource& src, SimTime t) {
+  MPSIM_CHECK(t >= now_, "cannot schedule in the past (clock rollback)");
+  if (t < now_) t = now_;  // degrade gracefully when checks are off
+  if (wheel_) {
+    wheel_->schedule(t, next_seq_++, &src);
+  } else {
+    heap_.push(Entry{t, next_seq_++, &src});
+    if (mode_ == SchedulerKind::kAdaptive && heap_.size() >= high_water_ &&
+        switch_allowed()) {
+      switch_to_wheel();
+    }
+  }
+}
 
 }  // namespace mpsim

@@ -7,36 +7,6 @@
 
 namespace mpsim {
 
-void TimingWheel::schedule(SimTime t, std::uint64_t seq, EventSource* src) {
-  MPSIM_CHECK(static_cast<std::uint64_t>(t) >= cur_ || size_ == 0,
-              "wheel entries must not precede the current tick");
-  insert(Entry{t, seq, src});
-  ++size_;
-}
-
-void TimingWheel::insert(const Entry& e) {
-  const auto t = static_cast<std::uint64_t>(e.time);
-  // The entry belongs on the lowest level whose epoch (the bits above the
-  // level's slot index) matches cur_'s — equivalently, the level containing
-  // the highest bit where t and cur_ differ.
-  const std::uint64_t diff = t ^ cur_;
-  const int hb = diff == 0 ? 0 : 63 - std::countl_zero(diff);
-  const int lv = hb / kSlotBits;
-  if (lv >= kLevels) {
-    overflow_.push(e);  // beyond the wheel horizon
-    return;
-  }
-  const int idx = static_cast<int>((t >> (kSlotBits * lv)) & (kSlots - 1));
-  Slot& s = levels_[static_cast<std::size_t>(lv)]
-                .slots[static_cast<std::size_t>(idx)];
-  // Sorted iff appending preserves ascending seq. Direct schedules always
-  // do (seq is globally increasing); cascaded entries may not.
-  s.sorted = s.entries.empty() || (s.sorted && e.seq > s.entries.back().seq);
-  s.entries.push_back(e);
-  mark(levels_[static_cast<std::size_t>(lv)], idx);
-  ++wheel_size_;
-}
-
 void TimingWheel::cascade(int lv, int idx) {
   Level& level = levels_[static_cast<std::size_t>(lv)];
   Slot& s = level.slots[static_cast<std::size_t>(idx)];
@@ -152,6 +122,7 @@ std::size_t TimingWheel::cancel(const EventSource* src) {
       overflow_.pop();
     }
     overflow_ = decltype(overflow_)(EntryGreater(), std::move(keep));
+    overflow_empty_ = overflow_.empty();
   }
   size_ -= removed;
   return removed;
@@ -206,6 +177,27 @@ bool TimingWheel::pop_if_before(SimTime limit, Entry& out) {
         const int j =
             find_slot(levels_[static_cast<std::size_t>(lv)], il + 1);
         if (j < 0) continue;
+        Level& level = levels_[static_cast<std::size_t>(lv)];
+        Slot& s = level.slots[static_cast<std::size_t>(j)];
+        if (s.entries.size() == 1) {
+          // Sparse fast path: the sole entry of the first occupied slot of
+          // the lowest occupied level is the wheel's minimum (every lower
+          // level is empty, higher levels and the overflow sort after it),
+          // so pop it directly instead of cascading it down level by level
+          // only to pop it from level 0 a few scans later. This is the
+          // dominant dispatch shape for sparse simulations (a handful of
+          // timers spread over a wide horizon).
+          const Entry e = s.entries.front();
+          if (static_cast<std::uint64_t>(e.time) > lim) return false;
+          s.entries.clear();
+          s.sorted = false;
+          unmark(level, j);
+          cur_ = static_cast<std::uint64_t>(e.time);
+          --wheel_size_;
+          --size_;
+          out = e;
+          return true;
+        }
         const std::uint64_t epoch_mask =
             ~((1ull << (kSlotBits * (lv + 1))) - 1);
         const std::uint64_t slot_base =
@@ -223,7 +215,7 @@ bool TimingWheel::pop_if_before(SimTime limit, Entry& out) {
     }
     // Wheel drained: rebase onto the overflow heap's next epoch and pull in
     // every far-future event that now fits under the horizon.
-    MPSIM_CHECK(!overflow_.empty(),
+    MPSIM_CHECK(!overflow_empty_,
                 "size_ > 0 with drained wheel implies overflow entries");
     if (static_cast<std::uint64_t>(overflow_.top().time) > lim) return false;
     cur_ = static_cast<std::uint64_t>(overflow_.top().time);
@@ -233,7 +225,34 @@ bool TimingWheel::pop_if_before(SimTime limit, Entry& out) {
       insert(overflow_.top());
       overflow_.pop();
     }
+    overflow_empty_ = overflow_.empty();
   }
+}
+
+void TimingWheel::drain(std::vector<Entry>& out) {
+  out.reserve(out.size() + size_);
+  for (int lv = 0; lv < kLevels; ++lv) {
+    Level& level = levels_[static_cast<std::size_t>(lv)];
+    if (level.summary == 0) continue;
+    for (int idx = 0; idx < kSlots; ++idx) {
+      Slot& s = level.slots[static_cast<std::size_t>(idx)];
+      if (s.entries.empty()) continue;
+      // Only the pending suffix survives; [0, head) of a mid-drain level-0
+      // slot has already been dispatched.
+      out.insert(out.end(), s.entries.begin() + s.head, s.entries.end());
+      s.entries.clear();
+      s.head = 0;
+      s.sorted = false;
+      unmark(level, idx);
+    }
+  }
+  while (!overflow_.empty()) {
+    out.push_back(overflow_.top());
+    overflow_.pop();
+  }
+  overflow_empty_ = true;
+  wheel_size_ = 0;
+  size_ = 0;
 }
 
 }  // namespace mpsim

@@ -18,11 +18,13 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <queue>
 #include <vector>
 
+#include "core/check.hpp"
 #include "core/time.hpp"
 
 namespace mpsim {
@@ -38,12 +40,19 @@ class TimingWheel {
   };
 
   TimingWheel() = default;
+  // Start the wheel at an arbitrary tick instead of 0. Used when the
+  // adaptive EventList migrates a heap onto a fresh wheel mid-run: anchoring
+  // cur_ at the simulation clock keeps near-term entries on level 0 instead
+  // of scattering them across cascade levels relative to tick 0.
+  explicit TimingWheel(std::uint64_t start_tick) : cur_(start_tick) {}
 
   TimingWheel(const TimingWheel&) = delete;
   TimingWheel& operator=(const TimingWheel&) = delete;
 
-  // Insert an event. `t` must be >= the time of the last popped entry and
-  // `seq` must exceed every previously scheduled seq.
+  // Insert an event. `t` must be >= the time of the last popped entry.
+  // seq is normally the EventList's globally increasing schedule counter;
+  // out-of-order seqs (heap->wheel migration) are also accepted — a slot
+  // that receives them is lazily re-sorted before dispatch.
   void schedule(SimTime t, std::uint64_t seq, EventSource* src);
 
   bool empty() const { return size_ == 0; }
@@ -69,6 +78,12 @@ class TimingWheel {
   // dropped. O(total entries) — a full sweep over every slot and the
   // overflow heap — so strictly a teardown/cold-path operation.
   std::size_t cancel(const EventSource* src);
+
+  // Append every pending entry to `out` (arbitrary order; entries keep
+  // their (time, seq) keys) and leave the wheel empty. O(slots + entries) —
+  // the wheel->heap migration path of the adaptive EventList, which
+  // re-establishes dispatch order by re-heapifying.
+  void drain(std::vector<Entry>& out);
 
  private:
   // 2^11-slot levels keep sub-2-us timers (pipe hops, queue drains) on
@@ -126,6 +141,47 @@ class TimingWheel {
   std::uint64_t cur_ = 0;        // tick of the last popped entry
   std::size_t wheel_size_ = 0;   // entries resident in the wheel levels
   std::size_t size_ = 0;         // wheel + overflow
+  // Cached overflow_.empty(): the drained-wheel branch of pop_if_before and
+  // next_time() consult it instead of probing the heap adaptor each time.
+  bool overflow_empty_ = true;
 };
+
+// Inline: schedule() runs once per event and insert() once more per cascade
+// level — together the hottest wheel operations, so they live in the header
+// (the pop side stays out of line; its slot-scan loop dwarfs call overhead).
+inline void TimingWheel::insert(const Entry& e) {
+  const auto t = static_cast<std::uint64_t>(e.time);
+  // The entry belongs on the lowest level whose epoch (the bits above the
+  // level's slot index) matches cur_'s — equivalently, the level containing
+  // the highest bit where t and cur_ differ.
+  const std::uint64_t diff = t ^ cur_;
+  const int hb = diff == 0 ? 0 : 63 - std::countl_zero(diff);
+  const int lv = hb / kSlotBits;
+  if (lv >= kLevels) {
+    overflow_.push(e);  // beyond the wheel horizon
+    overflow_empty_ = false;
+    return;
+  }
+  const int idx = static_cast<int>((t >> (kSlotBits * lv)) & (kSlots - 1));
+  Slot& s = levels_[static_cast<std::size_t>(lv)]
+                .slots[static_cast<std::size_t>(idx)];
+  // Sorted iff appending preserves ascending seq. Direct schedules usually
+  // do (seq is globally increasing); cascaded or migrated entries may not.
+  s.sorted = s.entries.empty() || (s.sorted && e.seq > s.entries.back().seq);
+  // First touch of a slot: reserve past the 1->2->4 doubling so steady-state
+  // laps of the wheel append without reallocating.
+  if (s.entries.capacity() == 0) s.entries.reserve(8);
+  s.entries.push_back(e);
+  mark(levels_[static_cast<std::size_t>(lv)], idx);
+  ++wheel_size_;
+}
+
+inline void TimingWheel::schedule(SimTime t, std::uint64_t seq,
+                                  EventSource* src) {
+  MPSIM_CHECK(static_cast<std::uint64_t>(t) >= cur_ || size_ == 0,
+              "wheel entries must not precede the current tick");
+  insert(Entry{t, seq, src});
+  ++size_;
+}
 
 }  // namespace mpsim

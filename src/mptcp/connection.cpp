@@ -56,6 +56,7 @@ tcp::Subflow& MptcpConnection::add_subflow(
   routes_.push_back(std::move(fwd));
   routes_.push_back(std::move(rev));
   subflows_.push_back(std::move(sub));
+  hot_.push_back(&subflows_.back()->hot());
 
   // Subflows may join an already-running connection (§6: "additional
   // subflows can be initiated"; e.g. a newly acquired basestation). Kick
@@ -173,7 +174,9 @@ void MptcpConnection::maybe_reinject_head_of_line() {
 }
 
 double MptcpConnection::srtt_sec(std::size_t r) const {
-  return to_sec(subflows_[r]->rtt().srtt(from_sec(cfg_.fallback_rtt_sec)));
+  const SubflowHot& h = *hot_[r];
+  return to_sec(h.rtt_valid != 0 ? h.srtt
+                                 : from_sec(cfg_.fallback_rtt_sec));
 }
 
 double MptcpConnection::delivered_mbps(SimTime elapsed) const {

@@ -18,6 +18,7 @@
 // UNCOUPLED algorithm (to which every coupled algorithm reduces at n = 1).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -83,9 +84,13 @@ class MptcpConnection : public tcp::SubflowHost,
   void on_subflow_progress(std::uint32_t subflow_id) override;
 
   // --- cc::ConnectionView (read by the congestion controller) ---
+  // The coupled increase term sweeps every sibling on every ACK; these read
+  // the subflows' SoA arena rows (cached in hot_) so the sweep walks
+  // consecutive cache lines instead of dereferencing Subflow objects.
   std::size_t num_subflows() const override { return subflows_.size(); }
   double cwnd_pkts(std::size_t r) const override {
-    return subflows_[r]->effective_cwnd();
+    const SubflowHot& h = *hot_[r];
+    return h.in_recovery != 0 ? std::min(h.cwnd, h.ssthresh) : h.cwnd;
   }
   double srtt_sec(std::size_t r) const override;
 
@@ -129,6 +134,7 @@ class MptcpConnection : public tcp::SubflowHost,
   DataScheduler scheduler_;
   MptcpReceiver receiver_;
   std::vector<std::unique_ptr<tcp::Subflow>> subflows_;
+  std::vector<const SubflowHot*> hot_;  // subflows_[r]->hot(), stable rows
   std::vector<std::unique_ptr<net::Route>> routes_;
   SimTime start_time_ = 0;
   SimTime completed_at_ = kNever;

@@ -66,6 +66,9 @@ void Packet::reset() {
   is_retransmit = false;
   route_ = nullptr;
   next_hop_ = 0;
+  link_next = nullptr;
+  link_prev = nullptr;
+  link_due = 0;
 }
 
 Packet& Packet::alloc(EventList& events) {
@@ -74,30 +77,9 @@ Packet& Packet::alloc(EventList& events) {
   return p;
 }
 
-void Packet::release() {
-  MPSIM_CHECK(pool_ != nullptr, "packet was not pool-allocated");
-  pool_->release(*this);
-}
-
 std::size_t Packet::pool_outstanding(const EventList& events) {
   const PacketPool* pool = PacketPool::find(events);
   return pool ? pool->outstanding() : 0;
-}
-
-void Packet::send_on(const Route& route) {
-  MPSIM_CHECK(route.size() > 0, "cannot send on an empty route");
-  MPSIM_CHECK(!in_pool_, "sending a packet that lives in the pool");
-  route_ = &route;
-  next_hop_ = 1;
-  route.at(0)->receive(*this);
-}
-
-void Packet::advance() {
-  MPSIM_CHECK(route_ != nullptr && next_hop_ < route_->size(),
-              "advance past the end of the route");
-  MPSIM_CHECK(!in_pool_, "advancing a packet that lives in the pool");
-  PacketSink* sink = route_->at(next_hop_++);
-  sink->receive(*this);
 }
 
 }  // namespace mpsim::net

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/check.hpp"
 #include "core/event_list.hpp"
 #include "core/time.hpp"
 
@@ -59,6 +60,25 @@ class Route {
   const Route* reverse_ = nullptr;
 };
 
+// FIFO of packets chained through their intrusive link hooks. O(1)
+// push/pop at both ends, no allocation ever (the hot-path discipline
+// tools/mpsim_lint.py enforces on queues). The caller guarantees a packet
+// is in at most one PacketFifo at a time; pop_* require a non-empty list.
+class PacketFifo {
+ public:
+  bool empty() const { return head_ == nullptr; }
+  std::size_t size() const { return size_; }
+  Packet* front() const { return head_; }
+  void push_back(Packet& p);
+  Packet* pop_front();
+  Packet* pop_back();
+
+ private:
+  Packet* head_ = nullptr;
+  Packet* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 enum class PacketType : std::uint8_t {
   kData,  // TCP data segment (one MSS)
   kAck,   // TCP acknowledgment (subflow cum-ack + data-level cum-ack)
@@ -92,6 +112,16 @@ class Packet {
   std::uint32_t size_bytes = kDataPacketBytes;
   SimTime ts_echo = 0;        // sender timestamp, echoed by the ACK
   bool is_retransmit = false; // suppresses RTT sampling (Karn's rule)
+
+  // --- container hooks (owned by whichever element holds the packet) ----
+  // Intrusive FIFO links for PacketFifo (a Queue's waiting list or a Pipe's
+  // in-flight list). A packet sits in at most one such list at a time, so a
+  // single pair of hooks suffices; `link_due` is the Pipe's absolute
+  // delivery time. Chaining through the packets themselves keeps the
+  // per-hop path allocation-free and avoids deque block bookkeeping.
+  Packet* link_next = nullptr;
+  Packet* link_prev = nullptr;
+  SimTime link_due = 0;
 
   // Route traversal -----------------------------------------------------
   // Starts the packet down `route` (delivers to the first hop).
@@ -161,5 +191,67 @@ class PacketPool final : public EventList::Service {
   std::uint64_t total_allocated_ = 0;
   std::uint64_t total_released_ = 0;
 };
+
+inline void PacketFifo::push_back(Packet& p) {
+  p.link_next = nullptr;
+  p.link_prev = tail_;
+  if (tail_ != nullptr) {
+    tail_->link_next = &p;
+  } else {
+    head_ = &p;
+  }
+  tail_ = &p;
+  ++size_;
+}
+
+inline Packet* PacketFifo::pop_front() {
+  Packet* p = head_;
+  head_ = p->link_next;
+  if (head_ != nullptr) {
+    head_->link_prev = nullptr;
+  } else {
+    tail_ = nullptr;
+  }
+  --size_;
+  return p;
+}
+
+inline Packet* PacketFifo::pop_back() {
+  Packet* p = tail_;
+  tail_ = p->link_prev;
+  if (tail_ != nullptr) {
+    tail_->link_next = nullptr;
+  } else {
+    head_ = nullptr;
+  }
+  --size_;
+  return p;
+}
+
+// --- inline hot path -----------------------------------------------------
+// send_on/advance/release run once per hop for tens of millions of packets
+// per simulation; defined here so each call site compiles straight to the
+// checks plus the virtual dispatch, without an intermediate call.
+
+inline void Packet::send_on(const Route& route) {
+  MPSIM_CHECK(route.size() > 0, "cannot send on an empty route");
+  MPSIM_CHECK(!in_pool_, "sending a packet that lives in the pool");
+  route_ = &route;
+  next_hop_ = 1;
+  route.at(0)->receive(*this);
+}
+
+inline void Packet::advance() {
+  MPSIM_CHECK(route_ != nullptr && next_hop_ < route_->size(),
+              "advance past the end of the route");
+  MPSIM_CHECK(!in_pool_, "advancing a packet that lives in the pool");
+  PacketSink* sink = route_->at(next_hop_++);
+  sink->receive(*this);
+}
+
+inline void Packet::release() {
+  MPSIM_CHECK(pool_ != nullptr, "packet was not pool-allocated");
+  pool_->release(*this);
+}
 
 }  // namespace mpsim::net

@@ -11,7 +11,8 @@ Pipe::Pipe(EventList& events, std::string name, SimTime delay)
 
 void Pipe::receive(Packet& pkt) {
   const SimTime deliver_at = events_.now() + delay_;
-  in_flight_.emplace_back(deliver_at, &pkt);
+  pkt.link_due = deliver_at;
+  in_flight_.push_back(pkt);
   events_.schedule_at(*this, deliver_at);
 }
 
@@ -19,9 +20,9 @@ void Pipe::on_event() {
   // One wake-up was scheduled per packet, so exactly the due head is
   // delivered here; arrivals are FIFO because delay is constant.
   MPSIM_CHECK(!in_flight_.empty(), "pipe wake-up with nothing in flight");
-  auto [due, pkt] = in_flight_.front();
-  MPSIM_CHECK(due == events_.now(), "pipe delivery must fire exactly on time");
-  in_flight_.pop_front();
+  Packet* pkt = in_flight_.pop_front();
+  MPSIM_CHECK(pkt->link_due == events_.now(),
+              "pipe delivery must fire exactly on time");
   pkt->advance();
 }
 

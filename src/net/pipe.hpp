@@ -2,9 +2,7 @@
 // preserving order. Pipes never drop.
 #pragma once
 
-#include <deque>
 #include <string>
-#include <utility>
 
 #include "core/event_list.hpp"
 #include "net/packet.hpp"
@@ -24,7 +22,7 @@ class Pipe : public PacketSink, public EventSource {
  private:
   EventList& events_;
   SimTime delay_;
-  std::deque<std::pair<SimTime, Packet*>> in_flight_;  // (deliver_at, pkt)
+  PacketFifo in_flight_;  // FIFO by arrival; link_due is the delivery time
 };
 
 }  // namespace mpsim::net

@@ -11,7 +11,9 @@ Queue::Queue(EventList& events, std::string name, double rate_bps,
     : EventSource(std::move(name)),
       events_(events),
       rate_bps_(rate_bps),
-      max_bytes_(max_bytes) {
+      max_bytes_(max_bytes),
+      hot_id_(SimArena::of(events).add_queue()),
+      h_(SimArena::of(events).queue(hot_id_)) {
   MPSIM_CHECK(rate_bps_ > 0, "queue service rate must be positive");
   trace_ = trace::TraceRecorder::find(events);
   if (trace_ != nullptr) {
@@ -20,22 +22,22 @@ Queue::Queue(EventList& events, std::string name, double rate_bps,
 }
 
 void Queue::receive(Packet& pkt) {
-  MPSIM_CHECK(queued_bytes_ <= max_bytes_,
+  MPSIM_CHECK(h_.queued_bytes <= max_bytes_,
               "queue occupancy exceeds buffer capacity");
-  ++arrivals_;
-  if (queued_bytes_ + pkt.size_bytes > max_bytes_) {
-    ++drops_;
+  ++h_.arrivals;
+  if (h_.queued_bytes + pkt.size_bytes > max_bytes_) {
+    ++h_.drops;
     MPSIM_TRACE(trace_,
                 trace::queue_drop(events_.now(), trace_id_, pkt.flow_id,
-                                  pkt.subflow_id, queued_bytes_,
+                                  pkt.subflow_id, h_.queued_bytes,
                                   pkt.size_bytes));
     pkt.release();
     return;
   }
-  queued_bytes_ += pkt.size_bytes;
-  fifo_.push_back(&pkt);
+  h_.queued_bytes += pkt.size_bytes;
+  fifo_.push_back(pkt);
   MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
-                                          queued_bytes_, queued_packets()));
+                                          h_.queued_bytes, queued_packets()));
   if (!busy_) start_service();
 }
 
@@ -43,8 +45,7 @@ void Queue::start_service() {
   MPSIM_CHECK(!busy_ && !fifo_.empty(),
               "start_service needs an idle server and a waiting packet");
   busy_ = true;
-  in_service_ = fifo_.front();
-  fifo_.pop_front();
+  in_service_ = fifo_.pop_front();
   service_done_at_ = events_.now() + service_time(*in_service_);
   events_.schedule_at(*this, service_done_at_);
 }
@@ -57,13 +58,13 @@ void Queue::on_event() {
   MPSIM_CHECK(pkt != nullptr, "busy queue must have a packet in service");
   in_service_ = nullptr;
   busy_ = false;
-  MPSIM_CHECK(queued_bytes_ >= pkt->size_bytes,
+  MPSIM_CHECK(h_.queued_bytes >= pkt->size_bytes,
               "queue byte accounting underflow on departure");
-  queued_bytes_ -= pkt->size_bytes;
-  ++departures_;
-  bytes_forwarded_ += pkt->size_bytes;
+  h_.queued_bytes -= pkt->size_bytes;
+  ++h_.departures;
+  h_.bytes_forwarded += pkt->size_bytes;
   MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
-                                          queued_bytes_, queued_packets()));
+                                          h_.queued_bytes, queued_packets()));
   if (!fifo_.empty()) start_service();
   pkt->advance();
 }
@@ -71,31 +72,30 @@ void Queue::on_event() {
 std::size_t Queue::drop_waiting(std::size_t max_pkts) {
   std::size_t dropped = 0;
   while (dropped < max_pkts && !fifo_.empty()) {
-    Packet* pkt = fifo_.back();
-    fifo_.pop_back();
-    MPSIM_CHECK(queued_bytes_ >= pkt->size_bytes,
+    Packet* pkt = fifo_.pop_back();
+    MPSIM_CHECK(h_.queued_bytes >= pkt->size_bytes,
                 "queue byte accounting underflow on fault drop");
-    queued_bytes_ -= pkt->size_bytes;
-    ++drops_;
+    h_.queued_bytes -= pkt->size_bytes;
+    ++h_.drops;
     ++dropped;
     MPSIM_TRACE(trace_,
                 trace::queue_drop(events_.now(), trace_id_, pkt->flow_id,
-                                  pkt->subflow_id, queued_bytes_,
+                                  pkt->subflow_id, h_.queued_bytes,
                                   pkt->size_bytes));
     pkt->release();
   }
   if (dropped > 0) {
     MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
-                                            queued_bytes_, queued_packets()));
+                                            h_.queued_bytes, queued_packets()));
   }
   return dropped;
 }
 
 void Queue::reset_stats() {
-  arrivals_ = 0;
-  drops_ = 0;
-  departures_ = 0;
-  bytes_forwarded_ = 0;
+  h_.arrivals = 0;
+  h_.drops = 0;
+  h_.departures = 0;
+  h_.bytes_forwarded = 0;
 }
 
 }  // namespace mpsim::net

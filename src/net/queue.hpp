@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
+#include "core/arena.hpp"
 #include "core/event_list.hpp"
 #include "net/packet.hpp"
 #include "trace/trace.hpp"
@@ -35,40 +35,62 @@ class Queue : public PacketSink, public EventSource {
   std::size_t drop_waiting(std::size_t max_pkts);
 
   // --- statistics ---
-  std::uint64_t arrivals() const { return arrivals_; }
-  std::uint64_t drops() const { return drops_; }
-  std::uint64_t departures() const { return departures_; }
-  std::uint64_t bytes_forwarded() const { return bytes_forwarded_; }
+  std::uint64_t arrivals() const { return h_.arrivals; }
+  std::uint64_t drops() const { return h_.drops; }
+  std::uint64_t departures() const { return h_.departures; }
+  std::uint64_t bytes_forwarded() const { return h_.bytes_forwarded; }
   double loss_rate() const {
-    return arrivals_ == 0 ? 0.0
-                          : static_cast<double>(drops_) / arrivals_;
+    return h_.arrivals == 0 ? 0.0
+                            : static_cast<double>(h_.drops) / h_.arrivals;
   }
   void reset_stats();
 
-  std::uint64_t queued_bytes() const { return queued_bytes_; }
+  std::uint64_t queued_bytes() const { return h_.queued_bytes; }
   std::size_t queued_packets() const { return fifo_.size() + (busy_ ? 1 : 0); }
   double rate_bps() const { return rate_bps_; }
   std::uint64_t capacity_bytes() const { return max_bytes_; }
+  // This queue's SoA row (core/arena.hpp).
+  const QueueHot& hot() const { return h_; }
+  std::uint32_t hot_id() const { return hot_id_; }
 
  protected:
+  // Serialization delay of `pkt` at the current rate. Nearly all packets are
+  // full-MSS data or minimum-size ACKs, so the two results are memoized per
+  // rate (start_service runs once per packet per hop; the recompute-on-match
+  // expressions are the exact FP operations of the fallback, so memoized and
+  // direct answers are bit-identical). The memo revalidates against
+  // rate_bps_, which VariableRateQueue::set_rate may change mid-run.
   SimTime service_time(const Packet& pkt) const {
+    if (rate_bps_ != memo_rate_) {
+      memo_rate_ = rate_bps_;
+      memo_data_st_ = from_sec(static_cast<double>(kDataPacketBytes) * 8.0 /
+                               rate_bps_);
+      memo_ack_st_ = from_sec(static_cast<double>(kAckPacketBytes) * 8.0 /
+                              rate_bps_);
+    }
+    if (pkt.size_bytes == kDataPacketBytes) return memo_data_st_;
+    if (pkt.size_bytes == kAckPacketBytes) return memo_ack_st_;
     return from_sec(static_cast<double>(pkt.size_bytes) * 8.0 / rate_bps_);
   }
   void start_service();
 
   EventList& events_;
-  std::deque<Packet*> fifo_;  // waiting packets; head-of-line is in service
+  PacketFifo fifo_;  // waiting packets; head-of-line is in service
   double rate_bps_;
   std::uint64_t max_bytes_;
-  std::uint64_t queued_bytes_ = 0;
   bool busy_ = false;
   Packet* in_service_ = nullptr;
   SimTime service_done_at_ = 0;
 
-  std::uint64_t arrivals_ = 0;
-  std::uint64_t drops_ = 0;
-  std::uint64_t departures_ = 0;
-  std::uint64_t bytes_forwarded_ = 0;
+  // service_time() memo; memo_rate_ = -1 forces a fill on first use.
+  mutable double memo_rate_ = -1.0;
+  mutable SimTime memo_data_st_ = 0;
+  mutable SimTime memo_ack_st_ = 0;
+
+  // Occupancy and flow counters live in the per-EventList arena; h_ is this
+  // queue's row.
+  std::uint32_t hot_id_;
+  QueueHot& h_;
 
   // Flight recorder, cached at construction (nullptr = tracing off).
   trace::TraceRecorder* trace_ = nullptr;

@@ -12,22 +12,22 @@ VariableRateQueue::VariableRateQueue(EventList& events, std::string name,
     : Queue(events, std::move(name), rate_bps, max_bytes) {}
 
 void VariableRateQueue::receive(Packet& pkt) {
-  MPSIM_CHECK(queued_bytes_ <= max_bytes_,
+  MPSIM_CHECK(h_.queued_bytes <= max_bytes_,
               "queue occupancy exceeds buffer capacity");
-  ++arrivals_;
-  if (queued_bytes_ + pkt.size_bytes > max_bytes_) {
-    ++drops_;
+  ++h_.arrivals;
+  if (h_.queued_bytes + pkt.size_bytes > max_bytes_) {
+    ++h_.drops;
     MPSIM_TRACE(trace_,
                 trace::queue_drop(events_.now(), trace_id_, pkt.flow_id,
-                                  pkt.subflow_id, queued_bytes_,
+                                  pkt.subflow_id, h_.queued_bytes,
                                   pkt.size_bytes));
     pkt.release();
     return;
   }
-  queued_bytes_ += pkt.size_bytes;
-  fifo_.push_back(&pkt);
+  h_.queued_bytes += pkt.size_bytes;
+  fifo_.push_back(pkt);
   MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
-                                          queued_bytes_, queued_packets()));
+                                          h_.queued_bytes, queued_packets()));
   if (!busy_ && rate_bps_ > 0.0) {
     start_service();
     fraction_done_ = 0.0;
@@ -89,11 +89,11 @@ void VariableRateQueue::on_event() {
   Packet* pkt = in_service_;
   in_service_ = nullptr;
   busy_ = false;
-  queued_bytes_ -= pkt->size_bytes;
-  ++departures_;
-  bytes_forwarded_ += pkt->size_bytes;
+  h_.queued_bytes -= pkt->size_bytes;
+  ++h_.departures;
+  h_.bytes_forwarded += pkt->size_bytes;
   MPSIM_TRACE(trace_, trace::queue_sample(events_.now(), trace_id_,
-                                          queued_bytes_, queued_packets()));
+                                          h_.queued_bytes, queued_packets()));
   if (!fifo_.empty() && rate_bps_ > 0.0) {
     start_service();
     fraction_done_ = 0.0;

@@ -90,6 +90,8 @@ std::vector<RunResult> ExperimentRunner::run_all() {
     if (const net::PacketPool* pool = net::PacketPool::find(ctx.events())) {
       r.metrics.peak_pool_packets = pool->peak_outstanding();
     }
+    r.metrics.scheduler = to_string(ctx.events().scheduler_kind());
+    r.metrics.scheduler_switches = ctx.events().scheduler_switches();
   };
 
   const unsigned nthreads = resolved_threads();

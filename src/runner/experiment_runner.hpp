@@ -32,6 +32,12 @@ struct RunMetrics {
   std::uint64_t events_processed = 0;
   double events_per_sec = 0.0;
   std::size_t peak_pool_packets = 0;  // high-water mark of the run's pool
+  // The *resolved* scheduler this run's EventList used ("heap", "wheel" or
+  // "adaptive") and, for the adaptive backend, how many heap<->wheel
+  // migrations it performed — so bench numbers stay attributable. Both are
+  // deterministic per run (never thread- or wall-time-dependent).
+  std::string scheduler;
+  std::uint64_t scheduler_switches = 0;
 };
 
 // Handed to each job: the simulation instance plus a keyed scalar recorder.

@@ -455,7 +455,7 @@ class PersistentTraffic final : public TrafficModel {
         use = &local;
       }
       std::vector<int> paths = fs.paths;
-      if (use->single_path && paths.size() > 1) paths.resize(1);
+      if (use->single_path && paths.size() > 1) paths = {paths.front()};
       int max_idx = 0;
       for (int p : paths) max_idx = p > max_idx ? p : max_idx;
       const int slot = slots > 0 ? static_cast<int>(i) % slots : 0;

@@ -18,9 +18,12 @@ Subflow::Subflow(EventList& events, std::string name, SubflowHost& host,
       flow_id_(flow_id),
       subflow_id_(subflow_id),
       cfg_(cfg),
-      cwnd_(cfg.init_cwnd),
-      ssthresh_(cfg.init_ssthresh),
+      hot_id_(SimArena::of(events).add_subflow()),
+      h_(SimArena::of(events).subflow(hot_id_)),
       rtt_(cfg.min_rto, cfg.max_rto) {
+  h_.cwnd = cfg.init_cwnd;
+  h_.ssthresh = cfg.init_ssthresh;
+  sync_rtt_mirror();
   // The recorder must be installed before the topology is built; a subflow
   // constructed earlier records nothing (by design: one branch, no lookup,
   // on every hot path below).
@@ -31,12 +34,12 @@ Subflow::Subflow(EventList& events, std::string name, SubflowHost& host,
 }
 
 void Subflow::set_cwnd(double w) {
-  cwnd_ = w;
+  h_.cwnd = w;
   clamp_cwnd();
 }
 
 void Subflow::clamp_cwnd() {
-  cwnd_ = std::clamp(cwnd_, cfg_.min_cwnd, cfg_.max_cwnd);
+  h_.cwnd = std::clamp(h_.cwnd, cfg_.min_cwnd, cfg_.max_cwnd);
 }
 
 void Subflow::try_send() {
@@ -44,26 +47,26 @@ void Subflow::try_send() {
   // Limited Transmit allowance: up to two extra segments while dupacks
   // signal departures but fast retransmit has not yet triggered.
   const std::uint64_t lt_bonus =
-      (cfg_.limited_transmit && !in_recovery_ && dupacks_ > 0 &&
+      (cfg_.limited_transmit && !h_.in_recovery && dupacks_ > 0 &&
        dupacks_ < cfg_.dupack_threshold)
           ? std::min<std::uint64_t>(dupacks_, 2)
           : 0;
-  const auto window = static_cast<std::uint64_t>(cwnd_) + lt_bonus;
-  while (snd_nxt_ - snd_una_ < window) {
-    if (snd_nxt_ < high_water_) {
+  const auto window = static_cast<std::uint64_t>(h_.cwnd) + lt_bonus;
+  while (h_.snd_nxt - h_.snd_una < window) {
+    if (h_.snd_nxt < high_water_) {
       // Go-back-N resend of a segment assigned before an RTO rewind.
-      send_packet(snd_nxt_, /*is_retransmit=*/true);
-      ++snd_nxt_;
+      send_packet(h_.snd_nxt, /*is_retransmit=*/true);
+      ++h_.snd_nxt;
     } else {
       std::uint64_t dseq = 0;
       if (!host_.next_data(subflow_id_, dseq)) break;
       scoreboard_.push_back(dseq);
       ++high_water_;
-      send_packet(snd_nxt_, /*is_retransmit=*/false);
-      ++snd_nxt_;
+      send_packet(h_.snd_nxt, /*is_retransmit=*/false);
+      ++h_.snd_nxt;
     }
   }
-  if (snd_una_ < high_water_ && !rto_armed_) arm_rto();
+  if (h_.snd_una < high_water_ && !rto_armed_) arm_rto();
 }
 
 void Subflow::send_packet(std::uint64_t subflow_seq, bool is_retransmit) {
@@ -95,26 +98,27 @@ void Subflow::handle_ack(net::Packet& ack) {
   // Karn's rule: only time unambiguous (non-retransmitted) segments.
   if (!ack.is_retransmit) {
     rtt_.add_sample(events_.now() - ack.ts_echo);
+    sync_rtt_mirror();
   }
   host_.on_data_ack(ack.data_cum_ack, ack.rcv_window);
 
   const std::uint64_t cum = ack.subflow_cum_ack;
-  if (cum > snd_una_) {
-    const std::uint64_t newly = cum - snd_una_;
-    snd_una_ = cum;
-    snd_nxt_ = std::max(snd_nxt_, snd_una_);
-    while (scoreboard_base_ < snd_una_) {
+  if (cum > h_.snd_una) {
+    const std::uint64_t newly = cum - h_.snd_una;
+    h_.snd_una = cum;
+    h_.snd_nxt = std::max(h_.snd_nxt, h_.snd_una);
+    while (scoreboard_base_ < h_.snd_una) {
       scoreboard_.pop_front();
       ++scoreboard_base_;
     }
     dupacks_ = 0;
     backoff_ = 0;
 
-    if (in_recovery_) {
-      if (snd_una_ >= recover_) {
+    if (h_.in_recovery) {
+      if (h_.snd_una >= recover_) {
         // Full ACK: recovery complete, deflate to ssthresh.
-        in_recovery_ = false;
-        cwnd_ = ssthresh_;
+        h_.in_recovery = false;
+        h_.cwnd = h_.ssthresh;
         clamp_cwnd();
         arm_rto();
         MPSIM_TRACE(trace_, trace::state_transition(
@@ -129,49 +133,50 @@ void Subflow::handle_ack(net::Packet& ack) {
         // hole per RTT without RTO interruption. (The connection-level
         // head-of-line reinjection keeps the *data stream* from stalling
         // behind such a recovery on one subflow.)
-        cwnd_ = std::max(ssthresh_, cwnd_ - static_cast<double>(newly) + 1.0);
+        h_.cwnd =
+            std::max(h_.ssthresh, h_.cwnd - static_cast<double>(newly) + 1.0);
         clamp_cwnd();
-        if (snd_una_ < high_water_) send_packet(snd_una_, true);
+        if (h_.snd_una < high_water_) send_packet(h_.snd_una, true);
         arm_rto();
       }
     } else {
       for (std::uint64_t i = 0; i < newly; ++i) {
-        if (cwnd_ < ssthresh_) {
-          cwnd_ += 1.0;  // slow start
+        if (h_.cwnd < h_.ssthresh) {
+          h_.cwnd += 1.0;  // slow start
         } else if (!cfg_.quantized_increase) {
-          cwnd_ += host_.ca_increase(subflow_id_);
+          h_.cwnd += host_.ca_increase(subflow_id_);
         } else {
           // Re-evaluate the (possibly expensive) coupled increase only
           // when the window has grown a whole packet since last computed.
-          const double quantum = std::floor(cwnd_);
+          const double quantum = std::floor(h_.cwnd);
           if (quantum != increase_quantum_) {
             cached_increase_ = host_.ca_increase(subflow_id_);
             increase_quantum_ = quantum;
           }
-          cwnd_ += cached_increase_;
+          h_.cwnd += cached_increase_;
         }
       }
       clamp_cwnd();
       arm_rto();  // forward progress restarts the retransmission timer
     }
-  } else if (snd_una_ < high_water_ && !ack.is_window_update) {
+  } else if (h_.snd_una < high_water_ && !ack.is_window_update) {
     // Duplicate ACK while data is outstanding (window updates are not
     // dupacks, RFC 5681).
     ++dupacks_;
-    if (!in_recovery_ && dupacks_ == cfg_.dupack_threshold &&
-        snd_una_ > recover_) {
+    if (!h_.in_recovery && dupacks_ == cfg_.dupack_threshold &&
+        h_.snd_una > recover_) {
       // RFC 6582: react to three dupacks only when the cumulative ACK has
       // passed `recover_` — dupack bursts from packets sent before the
       // previous loss reaction must not trigger another one.
       ++loss_events_;
       enter_recovery();
-    } else if (in_recovery_) {
-      cwnd_ += 1.0;  // window inflation: each dupack signals a departure
+    } else if (h_.in_recovery) {
+      h_.cwnd += 1.0;  // window inflation: each dupack signals a departure
       clamp_cwnd();
     }
   }
 
-  if (snd_una_ >= high_water_) {
+  if (h_.snd_una >= high_water_) {
     cancel_rto();
   } else if (!rto_armed_) {
     arm_rto();
@@ -180,8 +185,8 @@ void Subflow::handle_ack(net::Packet& ack) {
   // armed timer — otherwise a long dupack stream keeps the RTO at bay
   // forever and a stalled recovery can never escape.)
   MPSIM_TRACE(trace_, trace::cwnd_sample(events_.now(), trace_id_, flow_id_,
-                                         subflow_id_, phase(), cwnd_,
-                                         ssthresh_, rtt_.srtt(), rtt_.rto()));
+                                         subflow_id_, phase(), h_.cwnd,
+                                         h_.ssthresh, rtt_.srtt(), rtt_.rto()));
   try_send();
   check_invariants();
   host_.on_subflow_progress(subflow_id_);
@@ -191,30 +196,30 @@ void Subflow::handle_ack(net::Packet& ack) {
 // sequence spaces are separate but must stay consistent; 2.4: windows are
 // bounded below so every path keeps being probed).
 void Subflow::check_invariants() const {
-  MPSIM_CHECK(snd_una_ <= snd_nxt_ && snd_nxt_ <= high_water_,
+  MPSIM_CHECK(h_.snd_una <= h_.snd_nxt && h_.snd_nxt <= high_water_,
               "sequence order violated: need snd_una <= snd_nxt <= high_water");
-  MPSIM_CHECK(scoreboard_base_ == snd_una_,
+  MPSIM_CHECK(scoreboard_base_ == h_.snd_una,
               "scoreboard base must track the cumulative ACK");
   MPSIM_CHECK(scoreboard_.size() == high_water_ - scoreboard_base_,
               "scoreboard must map every un-acked subflow seq to a data seq");
-  MPSIM_CHECK(cwnd_ >= cfg_.min_cwnd,
+  MPSIM_CHECK(h_.cwnd >= cfg_.min_cwnd,
               "cwnd below the paper's >= 1 pkt probing bound");
 }
 
 void Subflow::enter_recovery() {
-  const bool in_slow_start = cwnd_ < ssthresh_;
+  const bool in_slow_start = h_.cwnd < h_.ssthresh;
   const trace::TcpPhase from = phase();
-  ssthresh_ =
+  h_.ssthresh =
       std::max(cfg_.min_cwnd, host_.window_after_loss(subflow_id_));
-  recover_ = snd_nxt_;  // dupacks below this must not re-trigger (RFC 6582)
+  recover_ = h_.snd_nxt;  // dupacks below this must not re-trigger (RFC 6582)
   if (in_slow_start) {
     // Loss during slow start means the exponential overshoot dumped a
     // large burst: potentially hundreds of holes, which NewReno (no SACK)
     // would repair at one per RTT. Do a Tahoe-style go-back-N instead —
     // refilling via slow start to the halved ssthresh is far faster.
-    cwnd_ = cfg_.min_cwnd;
-    snd_nxt_ = snd_una_;
-    in_recovery_ = false;
+    h_.cwnd = cfg_.min_cwnd;
+    h_.snd_nxt = h_.snd_una;
+    h_.in_recovery = false;
     dupacks_ = 0;
     MPSIM_TRACE(trace_, trace::state_transition(events_.now(), trace_id_,
                                                 flow_id_, subflow_id_, from,
@@ -223,13 +228,13 @@ void Subflow::enter_recovery() {
     try_send();
     return;
   }
-  cwnd_ = ssthresh_ + static_cast<double>(cfg_.dupack_threshold);
+  h_.cwnd = h_.ssthresh + static_cast<double>(cfg_.dupack_threshold);
   clamp_cwnd();
-  in_recovery_ = true;
+  h_.in_recovery = true;
   MPSIM_TRACE(trace_, trace::state_transition(events_.now(), trace_id_,
                                               flow_id_, subflow_id_, from,
                                               trace::TcpPhase::kFastRecovery));
-  if (snd_una_ < high_water_) send_packet(snd_una_, true);
+  if (h_.snd_una < high_water_) send_packet(h_.snd_una, true);
 }
 
 void Subflow::arm_rto() {
@@ -238,7 +243,7 @@ void Subflow::arm_rto() {
   // shift <= 16 overflows the signed SimTime (UB, and the wrapped negative
   // value would win the std::min and put the deadline in the past).
   const int shift = std::min(backoff_, 16);
-  const SimTime base = rtt_.rto();
+  const SimTime base = h_.rto;  // arena mirror of rtt_.rto()
   const SimTime rto = (base > (cfg_.max_rto >> shift))
                           ? cfg_.max_rto
                           : std::min<SimTime>(cfg_.max_rto, base << shift);
@@ -263,7 +268,7 @@ void Subflow::on_event() {
     return;
   }
   rto_armed_ = false;
-  if (snd_una_ >= high_water_) return;  // nothing outstanding after all
+  if (h_.snd_una >= high_water_) return;  // nothing outstanding after all
   handle_timeout();
 }
 
@@ -281,25 +286,25 @@ void Subflow::handle_timeout() {
   MPSIM_TRACE(trace_, trace::state_transition(events_.now(), trace_id_,
                                               flow_id_, subflow_id_, phase(),
                                               trace::TcpPhase::kRtoRecovery));
-  if (!in_recovery_) {
-    ssthresh_ =
+  if (!h_.in_recovery) {
+    h_.ssthresh =
         std::max(cfg_.min_cwnd, host_.window_after_loss(subflow_id_));
   }
-  cwnd_ = cfg_.min_cwnd;
-  in_recovery_ = false;
+  h_.cwnd = cfg_.min_cwnd;
+  h_.in_recovery = false;
   dupacks_ = 0;
   recover_ = high_water_;  // RFC 6582: no fast retransmit for pre-RTO acks
-  snd_nxt_ = snd_una_;     // go-back-N: resend everything outstanding
+  h_.snd_nxt = h_.snd_una;     // go-back-N: resend everything outstanding
   ++backoff_;
   host_.on_subflow_rto(subflow_id_, outstanding_data());
   try_send();
-  if (snd_una_ < high_water_ && !rto_armed_) arm_rto();
+  if (h_.snd_una < high_water_ && !rto_armed_) arm_rto();
 }
 
 std::vector<std::uint64_t> Subflow::outstanding_data() const {
   std::vector<std::uint64_t> out;
-  out.reserve(high_water_ - snd_una_);
-  for (std::uint64_t seq = snd_una_; seq < high_water_; ++seq) {
+  out.reserve(high_water_ - h_.snd_una);
+  for (std::uint64_t seq = h_.snd_una; seq < high_water_; ++seq) {
     out.push_back(scoreboard_[seq - scoreboard_base_]);
   }
   return out;

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/event_list.hpp"
 #include "net/packet.hpp"
 #include "tcp/rtt_estimator.hpp"
@@ -109,24 +110,28 @@ class Subflow : public net::PacketSink, public EventSource {
   void force_timeout();
 
   // --- inspection ---
-  double cwnd() const { return cwnd_; }
+  double cwnd() const { return h_.cwnd; }
   // The congestion window as seen by coupled congestion control. During
-  // NewReno fast recovery cwnd_ is *inflated* by one packet per dupack (the
-  // self-clocking transmit rule) and can transiently dwarf the real
+  // NewReno fast recovery the cwnd is *inflated* by one packet per dupack
+  // (the self-clocking transmit rule) and can transiently dwarf the real
   // window; the semantically meaningful value there is ssthresh, the
   // post-loss target the window deflates to on the full ACK.
   double effective_cwnd() const {
-    return in_recovery_ ? std::min(cwnd_, ssthresh_) : cwnd_;
+    return h_.in_recovery != 0 ? std::min(h_.cwnd, h_.ssthresh) : h_.cwnd;
   }
   void set_cwnd(double w);  // for tests and warm starts
-  double ssthresh() const { return ssthresh_; }
-  bool in_recovery() const { return in_recovery_; }
-  std::uint64_t inflight() const { return snd_nxt_ - snd_una_; }
+  double ssthresh() const { return h_.ssthresh; }
+  bool in_recovery() const { return h_.in_recovery != 0; }
+  std::uint64_t inflight() const { return h_.snd_nxt - h_.snd_una; }
   const RttEstimator& rtt() const { return rtt_; }
   std::uint32_t id() const { return subflow_id_; }
+  // This subflow's SoA row (core/arena.hpp): the congestion controller's
+  // per-ACK sibling sweep reads rows instead of chasing object pointers.
+  const SubflowHot& hot() const { return h_; }
+  std::uint32_t hot_id() const { return hot_id_; }
 
   std::uint64_t packets_sent() const { return packets_sent_; }
-  std::uint64_t packets_acked() const { return snd_una_; }
+  std::uint64_t packets_acked() const { return h_.snd_una; }
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t loss_events() const { return loss_events_; }
@@ -143,11 +148,17 @@ class Subflow : public net::PacketSink, public EventSource {
   void cancel_rto() { rto_armed_ = false; }
   void clamp_cwnd();
   void check_invariants() const;
+  // Keep the arena's srtt/rto mirror in sync after an RttEstimator update.
+  void sync_rtt_mirror() {
+    h_.srtt = rtt_.has_sample() ? rtt_.srtt() : 0;
+    h_.rto = rtt_.rto();
+    h_.rtt_valid = rtt_.has_sample() ? 1 : 0;
+  }
   // Current sender phase, as the flight recorder labels it.
   trace::TcpPhase phase() const {
-    if (in_recovery_) return trace::TcpPhase::kFastRecovery;
-    return cwnd_ < ssthresh_ ? trace::TcpPhase::kSlowStart
-                             : trace::TcpPhase::kCongestionAvoidance;
+    if (h_.in_recovery != 0) return trace::TcpPhase::kFastRecovery;
+    return h_.cwnd < h_.ssthresh ? trace::TcpPhase::kSlowStart
+                                 : trace::TcpPhase::kCongestionAvoidance;
   }
 
   EventList& events_;
@@ -157,22 +168,20 @@ class Subflow : public net::PacketSink, public EventSource {
   std::uint32_t subflow_id_;
   SubflowConfig cfg_;
 
-  // Window state (packets).
-  double cwnd_;
-  double ssthresh_;
+  // Hot state — windows (packets), sequence edges, recovery flag, RTT
+  // mirror — lives in the per-EventList arena; h_ is this subflow's row.
+  std::uint32_t hot_id_;
+  SubflowHot& h_;
 
-  // Sequence state. All in packets. The scoreboard holds the data_seq for
-  // every subflow seq in [scoreboard_base_, high_water_).
-  std::uint64_t snd_una_ = 0;    // first unacked subflow seq
-  std::uint64_t snd_nxt_ = 0;    // next subflow seq to send
+  // Sequence state not needed by siblings. The scoreboard holds the
+  // data_seq for every subflow seq in [scoreboard_base_, high_water_).
   std::uint64_t high_water_ = 0; // highest subflow seq ever assigned + 1
   std::uint64_t scoreboard_base_ = 0;
   std::deque<std::uint64_t> scoreboard_;  // subflow seq -> data seq
 
   // NewReno recovery state.
   std::uint32_t dupacks_ = 0;
-  bool in_recovery_ = false;
-  std::uint64_t recover_ = 0;  // recovery ends when snd_una_ >= recover_
+  std::uint64_t recover_ = 0;  // recovery ends when snd_una >= recover_
 
   // Quantized-increase cache (cfg_.quantized_increase).
   double cached_increase_ = 0.0;

@@ -32,6 +32,11 @@ struct RunStats {
 RunStats run_two_link(std::uint64_t cbr_seed,
                       SchedulerKind kind = SchedulerKind::kAuto) {
   EventList events(kind);
+  if (kind == SchedulerKind::kAdaptive) {
+    // Thresholds low enough that this small sim (tens of pending events)
+    // genuinely migrates back and forth instead of staying on the heap.
+    events.set_adaptive_policy(/*high=*/16, /*low=*/4, /*cooldown=*/64);
+  }
   topo::Network net(events);
   auto l1 = net.add_link("l1", 10e6, from_ms(10),
                          topo::bdp_bytes(10e6, from_ms(20)));
@@ -73,10 +78,13 @@ TEST(Determinism, DifferentSeedsDiffer) {
 TEST(Determinism, HeapAndWheelSchedulersBitIdentical) {
   // The scheduler backend is an implementation detail: a full MPTCP+CBR
   // simulation must produce the same statistics — including the exact
-  // event count — under the binary heap and the timing wheel.
+  // event count — under the binary heap, the timing wheel, and the
+  // adaptive migrator (forced to switch mid-run by low thresholds).
   const RunStats heap = run_two_link(42, SchedulerKind::kHeap);
   const RunStats wheel = run_two_link(42, SchedulerKind::kWheel);
+  const RunStats adaptive = run_two_link(42, SchedulerKind::kAdaptive);
   EXPECT_EQ(heap, wheel);
+  EXPECT_EQ(heap, adaptive);
 }
 
 // Randomized churn: the two backends must dispatch the exact same
@@ -122,8 +130,14 @@ TEST(Determinism, SchedulerChurnEquivalence) {
     Rng rng;
   };
 
-  auto run = [](SchedulerKind kind) {
+  std::uint64_t adaptive_switches = 0;
+  auto run = [&adaptive_switches](SchedulerKind kind) {
     EventList events(kind);
+    if (kind == SchedulerKind::kAdaptive) {
+      // The churn holds ~16-32 entries pending; these thresholds sit
+      // inside that band so occupancy noise drives repeated migrations.
+      events.set_adaptive_policy(/*high=*/24, /*low=*/8, /*cooldown=*/100);
+    }
     std::vector<std::pair<SimTime, int>> log;
     std::vector<std::unique_ptr<Churner>> churners;
     for (int i = 0; i < 16; ++i) {
@@ -132,19 +146,31 @@ TEST(Determinism, SchedulerChurnEquivalence) {
       events.schedule_at(*churners.back(), i % 3);
     }
     events.run_all();
+    if (kind == SchedulerKind::kAdaptive) {
+      adaptive_switches = events.scheduler_switches();
+    }
     return log;
   };
 
   const auto heap_log = run(SchedulerKind::kHeap);
   const auto wheel_log = run(SchedulerKind::kWheel);
+  const auto adaptive_log = run(SchedulerKind::kAdaptive);
   ASSERT_GE(heap_log.size(), 100'000u);
   ASSERT_EQ(heap_log.size(), wheel_log.size());
+  ASSERT_EQ(heap_log.size(), adaptive_log.size());
+  EXPECT_GE(adaptive_switches, 2u)
+      << "thresholds failed to force any migration; the adaptive leg "
+      << "degenerated into a pure-backend rerun";
   for (std::size_t i = 0; i < heap_log.size(); ++i) {
     ASSERT_EQ(heap_log[i], wheel_log[i])
         << "dispatch sequences diverge at event " << i << ": heap ("
         << heap_log[i].first << ", src " << heap_log[i].second << ") vs "
         << "wheel (" << wheel_log[i].first << ", src "
         << wheel_log[i].second << ")";
+    ASSERT_EQ(heap_log[i], adaptive_log[i])
+        << "adaptive dispatch diverges at event " << i << " ("
+        << adaptive_log[i].first << ", src " << adaptive_log[i].second
+        << ")";
   }
 }
 

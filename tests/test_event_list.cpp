@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "core/check.hpp"
+
 namespace mpsim {
 namespace {
 
@@ -19,21 +21,30 @@ class Recorder : public EventSource {
   EventList& events_;
 };
 
-// Every EventList behaviour must hold identically under both scheduler
-// backends, so the suite is parameterized over SchedulerKind.
+// Every EventList behaviour must hold identically under all scheduler
+// backends, so the suite is parameterized over SchedulerKind. The
+// adaptive instance additionally forces tiny hysteresis thresholds so
+// even these small workloads cross a migration or two mid-test.
 class EventListTest : public ::testing::TestWithParam<SchedulerKind> {
  protected:
-  EventListTest() : events(GetParam()) {}
+  EventListTest() : events(GetParam()) {
+    if (GetParam() == SchedulerKind::kAdaptive) {
+      events.set_adaptive_policy(/*high=*/4, /*low=*/1, /*cooldown=*/0);
+    }
+  }
   EventList events;
 };
 
 INSTANTIATE_TEST_SUITE_P(Schedulers, EventListTest,
                          ::testing::Values(SchedulerKind::kHeap,
-                                           SchedulerKind::kWheel),
+                                           SchedulerKind::kWheel,
+                                           SchedulerKind::kAdaptive),
                          [](const auto& info) {
-                           return info.param == SchedulerKind::kHeap
-                                      ? "Heap"
-                                      : "Wheel";
+                           switch (info.param) {
+                             case SchedulerKind::kHeap: return "Heap";
+                             case SchedulerKind::kWheel: return "Wheel";
+                             default: return "Adaptive";
+                           }
                          });
 
 TEST_P(EventListTest, StartsAtTimeZero) {
@@ -168,8 +179,83 @@ TEST_P(EventListTest, FarFutureEventsFire) {
 TEST(EventList, SchedulerKindIsReported) {
   EventList heap(SchedulerKind::kHeap);
   EventList wheel(SchedulerKind::kWheel);
+  EventList adaptive(SchedulerKind::kAdaptive);
   EXPECT_EQ(heap.scheduler_kind(), SchedulerKind::kHeap);
   EXPECT_EQ(wheel.scheduler_kind(), SchedulerKind::kWheel);
+  EXPECT_EQ(adaptive.scheduler_kind(), SchedulerKind::kAdaptive);
+  // The active backend is distinct from the mode: adaptive starts sparse,
+  // hence on the heap.
+  EXPECT_EQ(heap.active_backend(), SchedulerKind::kHeap);
+  EXPECT_EQ(wheel.active_backend(), SchedulerKind::kWheel);
+  EXPECT_EQ(adaptive.active_backend(), SchedulerKind::kHeap);
+  EXPECT_STREQ(to_string(SchedulerKind::kAdaptive), "adaptive");
+}
+
+// Force the hysteresis thresholds low and drive occupancy across them in
+// both directions mid-run, under throwing checks so any internal
+// invariant breach (lost event, misordered migration) aborts the test.
+TEST(EventList, AdaptiveCrossesHysteresisBothDirections) {
+  ScopedThrowingChecks guard;
+  EventList events(SchedulerKind::kAdaptive);
+  events.set_adaptive_policy(/*high=*/8, /*low=*/2, /*cooldown=*/0);
+  Recorder r(events);
+
+  // Fill to just below the high-water mark: still on the heap.
+  for (int i = 1; i <= 7; ++i) events.schedule_at(r, from_ms(i));
+  EXPECT_EQ(events.active_backend(), SchedulerKind::kHeap);
+  EXPECT_EQ(events.scheduler_switches(), 0u);
+
+  // The 8th pending event crosses high water: migrate heap -> wheel.
+  events.schedule_at(r, from_ms(8));
+  EXPECT_EQ(events.active_backend(), SchedulerKind::kWheel);
+  EXPECT_EQ(events.scheduler_switches(), 1u);
+
+  // Drain down to the low-water mark: migrate wheel -> heap, and every
+  // event must still fire exactly once, in time order.
+  events.run_all();
+  EXPECT_EQ(events.active_backend(), SchedulerKind::kHeap);
+  EXPECT_EQ(events.scheduler_switches(), 2u);
+  ASSERT_EQ(r.fired.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(r.fired[i], from_ms(i + 1));
+}
+
+// The cooldown suppresses migration thrash: with a large cooldown the
+// first switch happens but an immediate re-crossing does not switch back.
+TEST(EventList, AdaptiveCooldownSuppressesThrash) {
+  ScopedThrowingChecks guard;
+  EventList events(SchedulerKind::kAdaptive);
+  events.set_adaptive_policy(/*high=*/4, /*low=*/2,
+                             /*cooldown=*/1'000'000);
+  Recorder r(events);
+  for (int i = 1; i <= 4; ++i) events.schedule_at(r, from_ms(i));
+  EXPECT_EQ(events.active_backend(), SchedulerKind::kWheel);
+  EXPECT_EQ(events.scheduler_switches(), 1u);
+  events.run_all();
+  // Occupancy fell to zero, but the cooldown (measured in processed
+  // events) blocks the downswitch.
+  EXPECT_EQ(events.active_backend(), SchedulerKind::kWheel);
+  EXPECT_EQ(events.scheduler_switches(), 1u);
+  ASSERT_EQ(r.fired.size(), 4u);
+}
+
+// Events migrated heap -> wheel keep their FIFO tie-break: same-time
+// events fire in original insertion order even though the migration
+// re-inserted them.
+TEST(EventList, AdaptiveMigrationPreservesTieOrder) {
+  ScopedThrowingChecks guard;
+  EventList events(SchedulerKind::kAdaptive);
+  events.set_adaptive_policy(/*high=*/3, /*low=*/1, /*cooldown=*/0);
+  Recorder a(events, "a"), b(events, "b"), c(events, "c");
+  events.schedule_at(b, from_ms(1));
+  events.schedule_at(a, from_ms(1));
+  events.schedule_at(c, from_ms(1));  // third insert triggers migration
+  EXPECT_EQ(events.active_backend(), SchedulerKind::kWheel);
+  EXPECT_TRUE(events.run_one());
+  EXPECT_EQ(b.fired.size(), 1u) << "b scheduled first wins the tie";
+  EXPECT_TRUE(events.run_one());
+  EXPECT_EQ(a.fired.size(), 1u);
+  EXPECT_TRUE(events.run_one());
+  EXPECT_EQ(c.fired.size(), 1u);
 }
 
 TEST(TimeConversions, RoundTrip) {

@@ -91,13 +91,13 @@ TEST(InvariantPacketPool, LedgerBalancesThroughChurn) {
 
 // --- invariant class: queue occupancy within capacity --------------------
 
-// The fields are protected so a production Queue cannot reach this state;
-// the tamper subclass simulates an accounting bug.
+// The arena row reference is protected so a production Queue cannot reach
+// this state; the tamper subclass simulates an accounting bug.
 class TamperQueue : public net::Queue {
  public:
   using net::Queue::Queue;
-  void corrupt_occupancy() { queued_bytes_ = max_bytes_ + 1; }
-  void corrupt_underflow() { queued_bytes_ = 0; }
+  void corrupt_occupancy() { h_.queued_bytes = max_bytes_ + 1; }
+  void corrupt_underflow() { h_.queued_bytes = 0; }
 };
 
 TEST(InvariantQueueOccupancy, OverCapacityEnqueueFires) {

@@ -99,6 +99,47 @@ TEST(RunnerStress, ContendedSweepsAreByteIdentical) {
   }
 }
 
+TEST(RunnerStress, AdaptiveBackendMatchesHeapUnderContention) {
+  // The adaptive migrator must be invisible to results even when jobs run
+  // on contended worker threads: a 4-thread adaptive sweep (thresholds
+  // forced low enough to migrate mid-run) byte-matches a 1-thread pure-heap
+  // sweep, and the reported backend/switch counts stay deterministic.
+  auto sweep_kind = [](SchedulerKind kind, unsigned threads, int njobs) {
+    RunnerConfig cfg;
+    cfg.threads = threads;
+    cfg.scheduler = kind;
+    ExperimentRunner r(cfg);
+    for (int k = 0; k < njobs; ++k) {
+      r.add("seed" + std::to_string(k), [k, kind](RunContext& ctx) {
+        if (kind == SchedulerKind::kAdaptive) {
+          ctx.events().set_adaptive_policy(/*high=*/24, /*low=*/8,
+                                           /*cooldown=*/128);
+        }
+        mptcp_job(ctx, 7000 + static_cast<std::uint64_t>(k));
+      });
+    }
+    return r.run_all();
+  };
+  const int njobs = 12;
+  const auto heap = sweep_kind(SchedulerKind::kHeap, /*threads=*/1, njobs);
+  const auto adaptive =
+      sweep_kind(SchedulerKind::kAdaptive, /*threads=*/4, njobs);
+  ASSERT_EQ(heap.size(), adaptive.size());
+  std::uint64_t total_switches = 0;
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    EXPECT_EQ(adaptive[i].metrics.scheduler, "adaptive");
+    total_switches += adaptive[i].metrics.scheduler_switches;
+    ASSERT_EQ(heap[i].values.size(), adaptive[i].values.size());
+    for (std::size_t j = 0; j < heap[i].values.size(); ++j) {
+      EXPECT_EQ(heap[i].values[j].second, adaptive[i].values[j].second)
+          << heap[i].name << "." << heap[i].values[j].first;
+    }
+  }
+  EXPECT_GT(total_switches, 0u)
+      << "no job ever crossed the forced thresholds; the adaptive leg "
+      << "tested nothing";
+}
+
 TEST(RunnerStress, FlowIdsDeterministicUnderConcurrency) {
   // Flow ids are allocated per-EventList: within one simulation they are
   // unique (a duplicate would cross-deliver packets between connections and

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff BENCH_*.json reporters against baselines.
+
+Usage:
+    tools/bench_diff.py [--baseline-dir bench/baselines]
+                        [--max-regress PCT] BENCH_a.json [BENCH_b.json ...]
+    tools/bench_diff.py --update BENCH_a.json ...   # refresh the baselines
+    tools/bench_diff.py --self-test                 # verify the gate trips
+
+Each current file is compared against <baseline-dir>/<basename>. Two metric
+families are gated, wherever they appear in the tree:
+
+  * events_per_sec     — higher is better; a drop  > PCT% is a regression
+  * peak_pool_packets  — lower is better;  a rise  > PCT% is a regression
+    (peak pool occupancy is deterministic per run, so it gates on any
+    machine; events_per_sec assumes baseline and current ran on comparable
+    hardware — the bench-gate CI lane runs both on the same runner class)
+
+Structure walk: dicts recurse on keys present in *both* trees, lists of
+run objects are matched by their "name" field (so adding or reordering runs
+never misattributes a metric), other values are ignored. Metrics present in
+only one tree are reported but not gated.
+
+Exit codes: 0 clean, 1 regression found, 2 usage/missing-file error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+GATED = {
+    # metric key -> True if higher is better
+    "events_per_sec": True,
+    "peak_pool_packets": False,
+}
+
+
+def walk(base, cur, path, out):
+    """Collect (path, key, baseline, current) for every gated metric."""
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key, bval in base.items():
+            if key not in cur:
+                out.append((path + "/" + key, None, bval, None))
+                continue
+            cval = cur[key]
+            if key in GATED and isinstance(bval, (int, float)) \
+                    and isinstance(cval, (int, float)):
+                out.append((path + "/" + key, key, float(bval), float(cval)))
+            else:
+                walk(bval, cval, path + "/" + key, out)
+    elif isinstance(base, list) and isinstance(cur, list):
+        if all(isinstance(x, dict) and "name" in x for x in base + cur):
+            cur_by_name = {x["name"]: x for x in cur}
+            for brun in base:
+                crun = cur_by_name.get(brun["name"])
+                label = path + "[" + str(brun["name"]) + "]"
+                if crun is None:
+                    out.append((label, None, brun, None))
+                else:
+                    walk(brun, crun, label, out)
+        else:
+            for i, (bval, cval) in enumerate(zip(base, cur)):
+                walk(bval, cval, path + "[" + str(i) + "]", out)
+
+
+def diff_trees(base, cur, max_regress, label):
+    """Print a metric-by-metric report; return the number of regressions."""
+    found = []
+    walk(base, cur, "", found)
+    regressions = 0
+    for path, key, bval, cval in found:
+        if key is None:
+            print("  MISSING {}: present in baseline only".format(path))
+            continue
+        higher_better = GATED[key]
+        if bval == 0:
+            continue  # no meaningful ratio; a zero baseline gates nothing
+        change_pct = (cval - bval) / bval * 100.0
+        regressed = (-change_pct if higher_better else change_pct) \
+            > max_regress
+        marker = "REGRESSION" if regressed else "ok"
+        print("  {:10s} {}: {:.6g} -> {:.6g} ({:+.2f}%)".format(
+            marker, path, bval, cval, change_pct))
+        if regressed:
+            regressions += 1
+    if not found:
+        print("  warning: no gated metrics found under {}".format(label))
+    return regressions
+
+
+def self_test(max_regress):
+    """The gate must trip on a synthetic regression and stay quiet on an
+    improvement; exercised by ctest/CI so a broken gate cannot pass
+    silently."""
+    base = {
+        "dispatch": {"wheel": {"events_per_sec": 1e7}},
+        "runs": [
+            {"name": "MPTCP",
+             "metrics": {"events_per_sec": 3e6, "peak_pool_packets": 1000}},
+        ],
+    }
+    slow = json.loads(json.dumps(base))
+    slow["dispatch"]["wheel"]["events_per_sec"] = 1e7 * (
+        1.0 - (max_regress + 5.0) / 100.0)
+    bloated = json.loads(json.dumps(base))
+    bloated["runs"][0]["metrics"]["peak_pool_packets"] = 1000 * (
+        1.0 + (max_regress + 5.0) / 100.0)
+    fine = json.loads(json.dumps(base))
+    fine["dispatch"]["wheel"]["events_per_sec"] = 1.2e7
+
+    print("self-test: synthetic events_per_sec regression")
+    if diff_trees(base, slow, max_regress, "self-test") != 1:
+        print("self-test FAILED: slow run not flagged")
+        return 1
+    print("self-test: synthetic peak_pool_packets regression")
+    if diff_trees(base, bloated, max_regress, "self-test") != 1:
+        print("self-test FAILED: pool bloat not flagged")
+        return 1
+    print("self-test: improvement must not trip the gate")
+    if diff_trees(base, fine, max_regress, "self-test") != 0:
+        print("self-test FAILED: improvement flagged as regression")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff BENCH_*.json against committed baselines")
+    ap.add_argument("files", nargs="*", help="current BENCH_*.json files")
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--max-regress", type=float, default=10.0,
+                    help="allowed regression in percent (default 10)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy the given files over their baselines")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate trips on a synthetic regression")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.max_regress))
+    if not args.files:
+        ap.print_usage(sys.stderr)
+        sys.exit(2)
+
+    total = 0
+    for path in args.files:
+        baseline_path = os.path.join(args.baseline_dir,
+                                     os.path.basename(path))
+        if not os.path.exists(path):
+            print("bench_diff: missing current file {}".format(path),
+                  file=sys.stderr)
+            sys.exit(2)
+        if args.update:
+            os.makedirs(args.baseline_dir, exist_ok=True)
+            with open(path) as f:
+                data = f.read()
+            with open(baseline_path, "w") as f:
+                f.write(data)
+            print("updated {}".format(baseline_path))
+            continue
+        if not os.path.exists(baseline_path):
+            print("bench_diff: no baseline {} (run --update to seed it)"
+                  .format(baseline_path), file=sys.stderr)
+            sys.exit(2)
+        with open(baseline_path) as f:
+            base = json.load(f)
+        with open(path) as f:
+            cur = json.load(f)
+        print("{} vs {} (max regress {:g}%):".format(
+            path, baseline_path, args.max_regress))
+        total += diff_trees(base, cur, args.max_regress, path)
+
+    if total:
+        print("bench_diff: {} regression(s) beyond the gate".format(total))
+        sys.exit(1)
+    print("bench_diff: clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

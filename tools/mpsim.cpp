@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/env.hpp"
+#include "core/event_list.hpp"
 #include "runner/report.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/registry.hpp"
@@ -44,6 +45,11 @@ int usage() {
                "and [output] trace\n"
                "  --trace-dir=D   directory for trace_<run>.* files "
                "(default \".\")\n"
+               "\n"
+               "environment:\n"
+               "  MPSIM_SCHEDULER=adaptive|wheel|heap   event-queue backend "
+               "(default adaptive;\n"
+               "                  bad values exit 2; see `mpsim list`)\n"
                "\n"
                "specs may carry a [faults] section (scripted link "
                "down/up/rate/ramp,\nloss bursts, queue drain/corrupt, "
@@ -138,6 +144,13 @@ int cmd_list() {
   print("topologies", reg.topology_names());
   print("algorithms", reg.algorithm_names());
   print("traffic", reg.traffic_names());
+  std::printf("schedulers (MPSIM_SCHEDULER=adaptive|wheel|heap):\n");
+  std::printf("  %-12s %s\n", "adaptive",
+              "heap while sparse, timing wheel while dense (default)");
+  std::printf("  %-12s %s\n", "wheel", "hierarchical timing wheel");
+  std::printf("  %-12s %s\n", "heap", "binary heap");
+  std::printf("  resolved default: %s\n",
+              to_string(EventList::default_scheduler()));
   return 0;
 }
 
@@ -179,6 +192,18 @@ int cmd_run(const Options& opts) {
       std::printf("== %s ==\n", scn.name().c_str());
       for (const runner::RunResult& r : results) {
         std::printf("run %s\n", r.name.c_str());
+        // The resolved backend (and, for adaptive, its migration count) is
+        // deterministic per run, so printing it keeps stdout byte-identical
+        // across thread counts while making bench numbers attributable.
+        if (!r.metrics.scheduler.empty()) {
+          std::printf("  # scheduler = %s", r.metrics.scheduler.c_str());
+          if (r.metrics.scheduler == "adaptive") {
+            std::printf(" (switches=%llu)",
+                        static_cast<unsigned long long>(
+                            r.metrics.scheduler_switches));
+          }
+          std::printf("\n");
+        }
         for (const auto& [k, v] : r.annotations) {
           std::printf("  # %s = %s\n", k.c_str(), v.c_str());
         }

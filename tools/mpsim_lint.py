@@ -36,6 +36,17 @@ trace-discipline    Instrumentation sites go through the MPSIM_TRACE macro,
                     check and the [[unlikely]] hint, so a bare call either
                     crashes when tracing is off or silently de-optimises
                     the hot path. src/trace/ itself is exempt.
+arena-discipline    The per-event hot paths (event scheduling, subflow ACK
+                    processing, queue enqueue/dequeue) must not allocate:
+                    per-subflow and per-queue hot state lives in the
+                    SimArena SoA columns, packets in the pool, wheel slots
+                    in reserved vectors. Any `new` / make_unique /
+                    make_shared / malloc in those files is a finding; the
+                    rare legitimate one-off (backend migration, arena
+                    chunk growth) carries an allow comment. For this rule
+                    only, the allow may sit on the preceding line — the
+                    allocation statements it blesses are usually already
+                    at the 80-column limit.
 registry-discipline Scenario-registry registrations (add_topology /
                     add_algorithm / add_traffic with a literal key) live in
                     src/scenario/builders.cpp and nowhere else, and every
@@ -120,6 +131,20 @@ RAND_RE = re.compile(
     r"|std::uniform_real_distribution"
 )
 ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+# Heap allocation in a per-event hot path. `new` must start an expression
+# (`new Foo`), so words like "renew" or `= delete` never match.
+ARENA_RE = re.compile(
+    r"\bnew\s+[A-Za-z_:]|std::make_unique|std::make_shared"
+    r"|\bmalloc\s*\(|\bcalloc\s*\(")
+# Files whose bodies run once per simulated event (schedule/dispatch, ACK
+# clocking, packet enqueue/dequeue). Keep in sync with the docstring.
+ARENA_HOT_FILES = (
+    "core/event_list.cpp", "core/event_list.hpp",
+    "core/timing_wheel.cpp", "core/timing_wheel.hpp",
+    "tcp/subflow.cpp", "tcp/subflow.hpp",
+    "net/queue.cpp", "net/queue.hpp",
+    "net/variable_rate_queue.cpp",
+)
 TRACE_APPEND_RE = re.compile(r"\bappend_unchecked\s*\(")
 SIMTIME_CAST_RE = re.compile(
     r"(static_cast<\s*SimTime\s*>|\bSimTime\s*\()[^;]*\b1e[369]\b", re.DOTALL
@@ -150,6 +175,27 @@ def check_regex_rule(path: Path, lines: list[str], in_block: list[bool],
             continue
         if regex.search(code_of(raw)):
             findings.append(Finding(path, i, rule, message))
+
+
+def check_arena_rule(path: Path, lines: list[str], in_block: list[bool],
+                     findings: list[Finding]) -> None:
+    """No heap allocation in per-event hot paths; the allow comment may
+    sit on the flagged line or the one before it (clang-format keeps the
+    allocation statements at the 80-column limit)."""
+    for i, raw in enumerate(lines, start=1):
+        if in_block[i - 1]:
+            continue
+        allows = allowed_rules(raw)
+        if i >= 2:
+            allows |= allowed_rules(lines[i - 2])
+        if "arena-discipline" in allows:
+            continue
+        if ARENA_RE.search(code_of(raw)):
+            findings.append(Finding(
+                path, i, "arena-discipline",
+                "no heap allocation in per-event hot paths; hot state "
+                "lives in SimArena columns / the packet pool / reserved "
+                "wheel slots"))
 
 
 def check_simtime_rule(path: Path, lines: list[str],
@@ -253,6 +299,8 @@ def lint_file(path: Path, findings: list[Finding]) -> None:
                          "guard", findings)
     if not rel.endswith("core/time.hpp"):
         check_simtime_rule(path, lines, findings)
+    if rel.endswith(ARENA_HOT_FILES):
+        check_arena_rule(path, lines, in_block, findings)
     if rel.endswith("scenario/builders.cpp"):
         check_registry_keys(path, "\n".join(lines), findings)
     elif "scenario/registry" not in rel:
