@@ -31,6 +31,9 @@ double MptcpLia::increase_linear(std::span<const double> windows,
   std::vector<std::size_t> order_spill;
   std::size_t* order = order_buf.data();
   if (n > kInlinePaths) {
+    // Spill only beyond kInlinePaths subflows — unreachable for the
+    // paper's 2-8 path topologies; the stack buffer serves those.
+    // mpsim-analyze: allow(hot-alloc)
     order_spill.resize(n);
     order = order_spill.data();
   }
@@ -88,7 +91,10 @@ double MptcpLia::increase_per_ack(const ConnectionView& c,
   double* w = w_buf.data();
   double* rtt = rtt_buf.data();
   if (n > kInlinePaths) {
+    // Same spill-only-beyond-inline-capacity escape as above.
+    // mpsim-analyze: allow(hot-alloc)
     w_spill.resize(n);
+    // mpsim-analyze: allow(hot-alloc)
     rtt_spill.resize(n);
     w = w_spill.data();
     rtt = rtt_spill.data();

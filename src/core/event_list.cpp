@@ -31,8 +31,8 @@ EventList::EventList(SchedulerKind kind) {
   mode_ = kind;
   // kAdaptive starts on the heap: simulations begin sparse (topology
   // construction schedules a handful of timers) and the first high-water
-  // crossing migrates to a wheel.
-  // mpsim-lint: allow(arena-discipline) — once per EventList, not per event
+  // crossing migrates to a wheel. Constructors are cold by definition, so
+  // no allocation suppression is needed here under hot-range linting.
   if (kind == SchedulerKind::kWheel) wheel_ = std::make_unique<TimingWheel>();
 }
 
@@ -66,8 +66,12 @@ void EventList::switch_to_heap() {
   std::vector<Entry> keep;
   std::vector<TimingWheel::Entry> pending;
   wheel_->drain(pending);
+  // Backend migration: runs once per wheel->heap switch (the adaptive
+  // scheduler rate-limits switches), never per event.
+  // mpsim-analyze: allow(hot-alloc)
   keep.reserve(pending.size());
   for (const TimingWheel::Entry& e : pending) {
+    // mpsim-analyze: allow(hot-alloc)
     keep.push_back(Entry{e.time, e.seq, e.src});
   }
   // Re-heapify in one O(n) pass; (time, seq) keys are untouched, so pop

@@ -230,6 +230,9 @@ bool TimingWheel::pop_if_before(SimTime limit, Entry& out) {
 }
 
 void TimingWheel::drain(std::vector<Entry>& out) {
+  // Migration path: called once per wheel->heap backend switch, which the
+  // adaptive scheduler rate-limits; never on per-event dispatch.
+  // mpsim-analyze: allow(hot-alloc)
   out.reserve(out.size() + size_);
   for (int lv = 0; lv < kLevels; ++lv) {
     Level& level = levels_[static_cast<std::size_t>(lv)];
@@ -238,7 +241,8 @@ void TimingWheel::drain(std::vector<Entry>& out) {
       Slot& s = level.slots[static_cast<std::size_t>(idx)];
       if (s.entries.empty()) continue;
       // Only the pending suffix survives; [0, head) of a mid-drain level-0
-      // slot has already been dispatched.
+      // slot has already been dispatched. Within the reserve() above.
+      // mpsim-analyze: allow(hot-alloc)
       out.insert(out.end(), s.entries.begin() + s.head, s.entries.end());
       s.entries.clear();
       s.head = 0;
@@ -247,6 +251,8 @@ void TimingWheel::drain(std::vector<Entry>& out) {
     }
   }
   while (!overflow_.empty()) {
+    // Within the reserve() above (size_ counts overflow entries).
+    // mpsim-analyze: allow(hot-alloc)
     out.push_back(overflow_.top());
     overflow_.pop();
   }

@@ -231,11 +231,15 @@ FaultInjector::TargetState& FaultInjector::state_of(const Target* t) {
   for (std::size_t i = 0; i < state_keys_.size(); ++i) {
     if (state_keys_[i] == t) return states_[i];
   }
+  // First touch of a fault target: runs once per (injector, target) pair
+  // over a whole run, not per event.
+  // mpsim-analyze: allow(hot-alloc)
   state_keys_.push_back(t);
   TargetState st;
   if (trace_ != nullptr) {
     st.trace_id = trace_->register_object("fault/" + t->name);
   }
+  // mpsim-analyze: allow(hot-alloc)
   states_.push_back(st);
   return states_.back();
 }
@@ -312,6 +316,9 @@ void FaultInjector::apply(const Step& s) {
             timeline_.begin() + static_cast<std::ptrdiff_t>(next_),
             timeline_.end(), step,
             [](const Step& a, const Step& b) { return a.at < b.at; });
+        // Ramp expansion: once per ramp step at fault-schedule granularity
+        // (seconds apart), not per packet event.
+        // mpsim-analyze: allow(hot-alloc)
         timeline_.insert(pos, step);
       }
       aux = static_cast<std::uint64_t>(s.duration);
@@ -404,6 +411,8 @@ void RecoveryMonitor::on_outage_end() {
   // An older watch may already be satisfied (delivery advanced on other
   // paths since it was opened); settle it before rebasing the watermark.
   if (!watches_.empty() && delivered_now() > watch_base_pkts_) on_event();
+  // One recovery watch per outage end — fault-schedule granularity.
+  // mpsim-analyze: allow(hot-alloc)
   watches_.push_back(events_.now());
   watch_base_pkts_ = delivered_now();
   if (!poll_pending_) {

@@ -160,12 +160,17 @@ void MptcpConnection::maybe_reinject_head_of_line() {
   std::vector<std::uint64_t> outstanding;
   for (const auto& sub : subflows_) {
     for (std::uint64_t seq : sub->outstanding_data()) {
+      // Head-of-line rescue: rate-limited to one sweep per stall threshold
+      // (an RTT-scale interval), so scratch allocation here is off the
+      // per-packet path by construction.
+      // mpsim-analyze: allow(hot-alloc)
       if (seq >= scheduler_.data_cum_ack()) outstanding.push_back(seq);
     }
   }
   if (outstanding.empty()) return;
   std::sort(outstanding.begin(), outstanding.end());
   if (outstanding.size() > cfg_.hol_reinject_batch) {
+    // mpsim-analyze: allow(hot-alloc)
     outstanding.resize(cfg_.hol_reinject_batch);
   }
   scheduler_.reinject(outstanding);

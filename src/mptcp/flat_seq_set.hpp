@@ -1,0 +1,78 @@
+// A sorted flat set of sequence numbers, tuned for reassembly buffers.
+//
+// MptcpReceiver used std::set for its out-of-order tracking, which costs a
+// red-black-tree node allocation per out-of-order arrival — on the
+// per-packet receive path, under exactly the loss/reorder conditions the
+// paper studies. tools/mpsim_analyze's hot-alloc pass flagged it. This
+// container keeps the same semantics (ordered, unique, pop-min, membership)
+// in one contiguous vector reserved to the flow-control bound:
+//
+//   * add():       binary search + in-place shift. Out-of-order arrivals
+//                  overwhelmingly carry ascending sequence numbers, so the
+//                  common insert position is the end — no shift at all.
+//   * erase_min(): head-index bump, O(1); the dead prefix is recycled in
+//                  place (no deallocation) once it outgrows the live part.
+//   * No allocation after reserve(): the live size is bounded by the
+//     advertised receive window, which the callers reserve up front.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace mpsim::mptcp {
+
+class FlatSeqSet {
+ public:
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+  bool empty() const { return head_ == v_.size(); }
+  std::size_t size() const { return v_.size() - head_; }
+
+  // Smallest held sequence number. Requires !empty().
+  std::uint64_t min() const {
+    MPSIM_CHECK(!empty(), "min() of an empty FlatSeqSet");
+    return v_[head_];
+  }
+
+  bool contains(std::uint64_t s) const {
+    const auto begin = v_.begin() + static_cast<std::ptrdiff_t>(head_);
+    const auto it = std::lower_bound(begin, v_.end(), s);
+    return it != v_.end() && *it == s;
+  }
+
+  // Inserts `s`; returns false (and holds nothing new) if already present.
+  bool add(std::uint64_t s) {
+    const auto begin = v_.begin() + static_cast<std::ptrdiff_t>(head_);
+    const auto it = std::lower_bound(begin, v_.end(), s);
+    if (it != v_.end() && *it == s) return false;
+    // Shifts within reserved capacity; the live size is bounded by the
+    // receive window the owner reserved for. A pathological overflow
+    // grows the vector once, amortized — never per packet.
+    // mpsim-analyze: allow(hot-alloc)
+    v_.insert(it, s);
+    return true;
+  }
+
+  // Drops the smallest element. Requires !empty().
+  void erase_min() {
+    MPSIM_CHECK(!empty(), "erase_min() of an empty FlatSeqSet");
+    ++head_;
+    // Recycle the dead prefix in place once it dominates: move the live
+    // suffix down and reuse the same storage (erase of a prefix never
+    // reallocates). Amortized O(1) per erase_min.
+    if (head_ >= 64 && head_ > size()) {
+      v_.erase(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> v_;  // ascending; live range is [head_, end)
+  std::size_t head_ = 0;
+};
+
+}  // namespace mpsim::mptcp

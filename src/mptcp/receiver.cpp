@@ -14,11 +14,15 @@ MptcpReceiver::MptcpReceiver(EventList& events, std::string name,
       capacity_(buffer_pkts) {
   trace_ = trace::TraceRecorder::find(events);
   if (trace_ != nullptr) trace_id_ = trace_->register_object(this->name());
+  // Reorder tracking never outgrows the shared buffer, so one up-front
+  // reservation makes the per-packet receive path allocation-free.
+  ooo_data_.reserve(capacity_);
 }
 
 void MptcpReceiver::add_subflow(const net::Route& ack_route) {
   SubflowRx rx;
   rx.ack_route = &ack_route;
+  rx.ooo.reserve(capacity_);
   subflows_.push_back(std::move(rx));
 }
 
@@ -51,19 +55,19 @@ void MptcpReceiver::receive(net::Packet& pkt) {
   const bool subflow_in_order = pkt.subflow_seq == sub.rcv_nxt;
   if (subflow_in_order) {
     ++sub.rcv_nxt;
-    while (!sub.ooo.empty() && *sub.ooo.begin() == sub.rcv_nxt) {
-      sub.ooo.erase(sub.ooo.begin());
+    while (!sub.ooo.empty() && sub.ooo.min() == sub.rcv_nxt) {
+      sub.ooo.erase_min();
       ++sub.rcv_nxt;
     }
   } else if (pkt.subflow_seq > sub.rcv_nxt) {
-    sub.ooo.insert(pkt.subflow_seq);
+    sub.ooo.add(pkt.subflow_seq);
   }
   // (subflow_seq < rcv_nxt: duplicate from go-back-N, nothing to track)
 
   // --- data-level reassembly into the shared buffer ---
   const std::uint64_t dseq = pkt.data_seq;
   bool data_in_order = false;
-  if (dseq < rcv_nxt_data_ || ooo_data_.count(dseq) != 0) {
+  if (dseq < rcv_nxt_data_ || ooo_data_.contains(dseq)) {
     ++duplicate_data_;  // reinjected or go-back-N copy; already have it
   } else if (buffer_occupancy() >= capacity_) {
     // No room. A sender honouring the advertised window cannot trigger
@@ -72,13 +76,13 @@ void MptcpReceiver::receive(net::Packet& pkt) {
   } else if (dseq == rcv_nxt_data_) {
     data_in_order = true;
     ++rcv_nxt_data_;
-    while (!ooo_data_.empty() && *ooo_data_.begin() == rcv_nxt_data_) {
-      ooo_data_.erase(ooo_data_.begin());
+    while (!ooo_data_.empty() && ooo_data_.min() == rcv_nxt_data_) {
+      ooo_data_.erase_min();
       ++rcv_nxt_data_;
     }
     drain_to_app();
   } else {
-    ooo_data_.insert(dseq);
+    ooo_data_.add(dseq);
   }
 
   MPSIM_CHECK(buffer_occupancy() <= capacity_,

@@ -20,11 +20,11 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "core/event_list.hpp"
+#include "mptcp/flat_seq_set.hpp"
 #include "net/packet.hpp"
 #include "trace/trace.hpp"
 
@@ -89,9 +89,12 @@ class MptcpReceiver : public net::PacketSink, public EventSource {
   std::uint64_t capacity_;
 
   // Data-level reassembly.
-  std::uint64_t rcv_nxt_data_ = 0;       // next expected data seq
-  std::uint64_t app_read_seq_ = 0;       // next data seq the app will read
-  std::set<std::uint64_t> ooo_data_;     // received beyond rcv_nxt_data_
+  std::uint64_t rcv_nxt_data_ = 0;  // next expected data seq
+  std::uint64_t app_read_seq_ = 0;  // next data seq the app will read
+  // Received beyond rcv_nxt_data_. Flat and reserved to capacity_ (its
+  // live size is bounded by buffer occupancy): no per-packet node
+  // allocation on the reorder path.
+  FlatSeqSet ooo_data_;
 
   // Application read model.
   double app_read_rate_ = 0.0;  // pkts/s; 0 = infinite
@@ -112,7 +115,7 @@ class MptcpReceiver : public net::PacketSink, public EventSource {
   struct SubflowRx {
     const net::Route* ack_route = nullptr;
     std::uint64_t rcv_nxt = 0;
-    std::set<std::uint64_t> ooo;
+    FlatSeqSet ooo;  // reserved to capacity_ by add_subflow()
     // Delayed-ACK bookkeeping.
     int pending_acks = 0;
     SimTime pending_ts_echo = 0;

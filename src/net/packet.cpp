@@ -7,7 +7,15 @@ namespace mpsim::net {
 Packet& PacketPool::alloc() {
   Packet* p;
   if (free_.empty()) {
+    // Pool growth: one heap allocation per new high-water mark of
+    // in-flight packets, amortized to zero once the simulation reaches
+    // steady state — never one per packet.
+    // mpsim-analyze: allow(hot-alloc)
     storage_.push_back(std::unique_ptr<Packet>(new Packet()));
+    // Keep free_ able to hold every packet ever created, so release() on
+    // the per-hop hot path can never reallocate the free list.
+    // mpsim-analyze: allow(hot-alloc)
+    free_.reserve(storage_.capacity());
     p = storage_.back().get();
     p->pool_ = this;
   } else {
@@ -31,6 +39,9 @@ void PacketPool::release(Packet& p) {
   p.in_pool_ = true;
   --outstanding_;
   ++total_released_;
+  // Within capacity by construction: alloc() reserves free_ for every
+  // packet it ever creates, so this push never allocates.
+  // mpsim-analyze: allow(hot-alloc)
   free_.push_back(&p);
   MPSIM_CHECK(outstanding_ + free_.size() == storage_.size(),
               "packet conservation: outstanding + free != capacity");
@@ -42,8 +53,11 @@ PacketPool& PacketPool::of(EventList& events) {
   if (EventList::Service* s = events.service(EventList::kPacketPoolSlot)) {
     return *static_cast<PacketPool*>(s);
   }
-  return static_cast<PacketPool&>(events.attach_service(
-      EventList::kPacketPoolSlot, std::make_unique<PacketPool>()));
+  // Lazy attach: once per simulation instance, on its very first packet.
+  // mpsim-analyze: allow(hot-alloc)
+  auto pool = std::make_unique<PacketPool>();
+  return static_cast<PacketPool&>(
+      events.attach_service(EventList::kPacketPoolSlot, std::move(pool)));
 }
 
 PacketPool* PacketPool::find(const EventList& events) {

@@ -7,6 +7,9 @@ namespace mpsim::stats {
 void GoodputMeter::mark() {
   t0_ = events_.now();
   base_.clear();
+  // clear() keeps capacity, so only the first mark() allocates; marks are
+  // measurement-window granularity anyway, not per packet.
+  // mpsim-analyze: allow(hot-alloc)
   for (const auto* c : conns_) base_.push_back(c->delivered_pkts());
 }
 

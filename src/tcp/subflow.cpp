@@ -60,6 +60,10 @@ void Subflow::try_send() {
     } else {
       std::uint64_t dseq = 0;
       if (!host_.next_data(subflow_id_, dseq)) break;
+      // Deque block allocation once per ~512 bytes of scoreboard growth,
+      // amortized across hundreds of packets; the scoreboard itself must
+      // grow with the window.
+      // mpsim-analyze: allow(hot-alloc)
       scoreboard_.push_back(dseq);
       ++high_water_;
       send_packet(h_.snd_nxt, /*is_retransmit=*/false);
@@ -303,8 +307,12 @@ void Subflow::handle_timeout() {
 
 std::vector<std::uint64_t> Subflow::outstanding_data() const {
   std::vector<std::uint64_t> out;
+  // Called only on the RTO / HoL-rescue recovery paths (timeout
+  // granularity), never on the per-ACK fast path.
+  // mpsim-analyze: allow(hot-alloc)
   out.reserve(high_water_ - h_.snd_una);
   for (std::uint64_t seq = h_.snd_una; seq < high_water_; ++seq) {
+    // mpsim-analyze: allow(hot-alloc)
     out.push_back(scoreboard_[seq - scoreboard_base_]);
   }
   return out;

@@ -29,6 +29,9 @@ TraceRecorder* TraceRecorder::find(const EventList& events) {
 
 std::uint16_t TraceRecorder::register_object(std::string name) {
   MPSIM_CHECK(names_.size() < 0xffff, "trace object id space exhausted");
+  // Registration: once per traced object at topology-construction time
+  // (reachable from receive() only via lazy first-touch registration).
+  // mpsim-analyze: allow(hot-alloc)
   names_.push_back(std::move(name));
   return static_cast<std::uint16_t>(names_.size() - 1);
 }

@@ -1,0 +1,18 @@
+// Fixture (negative control): allocation, clock reads and I/O in a
+// function no dispatch root can reach. Must produce zero findings — the
+// rules police the hot set, not the whole tree.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+struct TopologyBuilder {
+  std::vector<int> nodes;
+
+  void construct() {
+    nodes.push_back(1);
+    nodes.push_back(2);
+    std::cout << "built at "
+              << std::chrono::system_clock::now().time_since_epoch().count()
+              << "\n";
+  }
+};

@@ -1,0 +1,11 @@
+// Fixture: the handler itself is clean; the violation hides in a helper
+// defined in another translation unit. The hard-coded-file-list lint could
+// never see this — the call graph must carry hotness across TUs into
+// escape_helper.cpp.
+void escape_helper(int n);
+
+struct Delegator {
+  void on_event() {
+    escape_helper(3);
+  }
+};

@@ -1,0 +1,10 @@
+// Fixture: heap allocation inside an event handler -> hot-alloc.
+#include <vector>
+
+struct BurstSampler {
+  std::vector<int> samples;
+
+  void on_event() {
+    samples.push_back(42);  // grows on the dispatch path
+  }
+};

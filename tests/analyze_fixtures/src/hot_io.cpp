@@ -1,0 +1,11 @@
+// Fixture: blocking I/O inside a packet-delivery override -> hot-io.
+#include <iostream>
+
+struct Packet;
+
+struct ChattySink {
+  void receive(Packet& pkt) {
+    std::cout << "got one\n";
+    (void)pkt;
+  }
+};

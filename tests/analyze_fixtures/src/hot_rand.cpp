@@ -1,0 +1,10 @@
+// Fixture: unseeded randomness inside an event handler -> hot-rand.
+#include <cstdlib>
+
+struct JitterSource {
+  int jitter = 0;
+
+  void on_event() {
+    jitter = rand() % 7;
+  }
+};

@@ -1,0 +1,7 @@
+// Fixture: function-local static mutable state in a handler -> hot-static.
+struct WakeCounter {
+  void on_event() {
+    static int calls = 0;
+    ++calls;
+  }
+};

@@ -1,0 +1,16 @@
+// Fixture: packet taken from the pool but never handed on or returned
+// -> packet-ownership.
+struct EventList;
+struct Packet {
+  static Packet& alloc(EventList& events);
+  int flow_id = 0;
+};
+
+struct LeakySource {
+  EventList* events_ = nullptr;
+
+  void on_event() {
+    Packet& q = Packet::alloc(*events_);
+    q.flow_id = 1;  // dropped on the floor: no send_on/advance/release
+  }
+};

@@ -1,0 +1,12 @@
+// Fixture: an allow comment in a cold function suppresses nothing ->
+// flagged by --check-stale-allows (and only then; the plain run is clean).
+#include <vector>
+
+struct ColdSetup {
+  std::vector<int> table;
+
+  void build() {
+    // mpsim-analyze: allow(hot-alloc)
+    table.push_back(1);
+  }
+};

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/mpsim_analyze (and its mpsim_lint rebase).
+
+Runs the analyzer over tests/analyze_fixtures/src — a tree seeded with one
+deliberate violation per rule — and asserts that:
+
+  * every seeded violation fires, in the right file, under the right rule;
+  * the cross-TU escape (clean handler calling an allocating helper in an
+    unlisted file) is caught, which the hard-coded-file-list lint cannot do;
+  * the clean cold-allocation control produces no findings;
+  * --check-stale-allows flags the allow comment that suppresses nothing;
+  * on the real tree the computed hot-file set is a strict superset of
+    mpsim_lint's legacy ARENA_HOT_FILES list (the acceptance criterion for
+    replacing the list with reachability).
+
+Stdlib only; invoked by ctest as `python3 tests/test_analyze_fixtures.py
+--root <repo root>`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+# (file, rule) pairs the fixture tree must produce.
+EXPECTED = [
+    ("hot_alloc.cpp", "hot-alloc"),
+    ("hot_clock.cpp", "hot-clock"),
+    ("hot_rand.cpp", "hot-rand"),
+    ("hot_io.cpp", "hot-io"),
+    ("hot_static.cpp", "hot-static"),
+    ("packet_ownership.cpp", "packet-ownership"),
+    ("simtime_unit.cpp", "simtime-unit"),
+    ("escape_helper.cpp", "hot-alloc"),  # hot only via the cross-TU call
+]
+
+# Files that must never appear in any finding.
+NEVER_FLAGGED = ["clean_cold.cpp", "escape.cpp"]
+
+
+def run_analyzer(root: Path, *extra: str) -> tuple[int, str]:
+    cmd = [sys.executable, str(root / "tools" / "mpsim_analyze"),
+           "--src-root", str(root / "tests" / "analyze_fixtures" / "src"),
+           *extra]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--root", default=None)
+    args = ap.parse_args()
+    root = (Path(args.root) if args.root
+            else Path(__file__).resolve().parent.parent)
+
+    failures: list[str] = []
+
+    # --- seeded violations all fire -------------------------------------
+    code, out = run_analyzer(root)
+    if code != 1:
+        failures.append(f"fixture run: expected exit 1, got {code}\n{out}")
+    for fname, rule in EXPECTED:
+        if not any(fname in ln and f"[{rule}]" in ln
+                   for ln in out.splitlines()):
+            failures.append(f"seeded violation not reported: "
+                            f"{fname} [{rule}]")
+    for fname in NEVER_FLAGGED:
+        hits = [ln for ln in out.splitlines()
+                if ln.startswith(fname + ":")]
+        if hits:
+            failures.append(f"false positive on {fname}: {hits}")
+    # The plain run must NOT flag the stale allow (that is opt-in).
+    if "stale-allow" in out:
+        failures.append("plain run reported stale-allow without the flag")
+
+    # --- stale-allow detection ------------------------------------------
+    code, out = run_analyzer(root, "--check-stale-allows")
+    if code != 1:
+        failures.append(f"stale run: expected exit 1, got {code}")
+    if not any("stale_allow.cpp" in ln and "[stale-allow]" in ln
+               for ln in out.splitlines()):
+        failures.append("stale allow in stale_allow.cpp not reported")
+
+    # --- real tree: computed hot files superset of the legacy list ------
+    sys.path.insert(0, str(root / "tools"))
+    sys.path.insert(0, str(root / "tools" / "mpsim_analyze"))
+    import hotset  # noqa: E402
+    import mpsim_lint  # noqa: E402
+    files = hotset.discover_src(root)
+    _, _, graph, hot = hotset.analyze_tree(root, files)
+    hot_files = set(graph.hot_files(hot))
+    legacy = {f for f in files if f.endswith(mpsim_lint.ARENA_HOT_FILES)}
+    missing = {f for f in legacy
+               if not any(h.endswith(f) or f.endswith(h)
+                          for h in hot_files)}
+    if missing:
+        failures.append(f"hot set misses legacy arena-hot files: "
+                        f"{sorted(missing)}")
+    if len(hot_files) <= len(legacy):
+        failures.append(
+            f"hot set ({len(hot_files)} files) is not a strict superset "
+            f"of the legacy list ({len(legacy)} files)")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"test_analyze_fixtures: OK ({len(EXPECTED)} seeded violations "
+          f"caught, controls clean, hot files {len(hot_files)} > "
+          f"legacy {len(legacy)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

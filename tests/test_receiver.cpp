@@ -183,5 +183,62 @@ TEST_F(ReceiverTest, SlowReaderShrinksWindowToZero) {
   EXPECT_EQ(trap.windows.back(), 0u);
 }
 
+// The receiver's reorder sets are FlatSeqSets (no per-packet node
+// allocation); these pin the std::set semantics they must preserve.
+
+TEST(FlatSeqSetTest, OrderedUniquePopMin) {
+  FlatSeqSet s;
+  s.reserve(8);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.add(5));
+  EXPECT_TRUE(s.add(2));
+  EXPECT_TRUE(s.add(9));
+  EXPECT_FALSE(s.add(5));  // duplicate rejected
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(9));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.min(), 2u);
+  s.erase_min();
+  EXPECT_EQ(s.min(), 5u);
+  s.erase_min();
+  EXPECT_EQ(s.min(), 9u);
+  s.erase_min();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSeqSetTest, HeadCompactionPreservesContents) {
+  FlatSeqSet s;
+  s.reserve(16);
+  // Many erase_min cycles push head_ across the compaction threshold;
+  // the live contents must be unaffected throughout.
+  std::uint64_t next = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 4; ++k) s.add(next + static_cast<std::uint64_t>(k));
+    EXPECT_EQ(s.min(), next);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(s.min(), next + static_cast<std::uint64_t>(k));
+      s.erase_min();
+    }
+    EXPECT_TRUE(s.empty());
+    next += 4;
+  }
+}
+
+TEST(FlatSeqSetTest, InterleavedAddEraseStaysSorted) {
+  FlatSeqSet s;
+  s.reserve(32);
+  // Descending adds force mid-vector inserts relative to head_.
+  for (std::uint64_t v : {70u, 30u, 50u, 10u, 60u, 20u, 40u}) s.add(v);
+  EXPECT_EQ(s.min(), 10u);
+  s.erase_min();
+  s.add(15);  // insert below the current minimum, after a head bump
+  EXPECT_EQ(s.min(), 15u);
+  s.erase_min();
+  EXPECT_EQ(s.min(), 20u);
+  EXPECT_TRUE(s.contains(70));
+  EXPECT_FALSE(s.contains(10));  // erased values are really gone
+}
+
 }  // namespace
 }  // namespace mpsim::mptcp

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""mpsim_analyze: whole-program call-graph analyzer for the simulator.
+
+Parses every translation unit named by compile_commands.json (plus all
+headers under src/), builds the project call graph, computes the **hot
+set** — everything reachable from the event-dispatch roots — and runs the
+determinism/ownership rule passes (rules.py) over it. This replaces
+tools/mpsim_lint.py's hard-coded hot-file list with computed reachability:
+a helper called from Subflow::receive cannot escape checking by living in
+an unlisted file.
+
+Usage:
+  tools/mpsim_analyze --compile-commands build/compile_commands.json
+  tools/mpsim_analyze --src-root tests/analyze_fixtures/src
+Options:
+  --dump-hotset          print the hot functions and exit
+  --dump-callgraph       print every function and its resolved callees
+  --dump-hot-files FILE  write the hot file list ('-' = stdout)
+  --emit-hot-ranges FILE write hot body ranges as path:start:end (feeds
+                         mpsim_lint --arena-hot-ranges)
+  --check-stale-allows   also fail on allow comments (both tools') that no
+                         longer suppress anything
+  --with-lint            additionally run mpsim_lint over src/ with its
+                         arena-discipline rule rebased onto the computed
+                         hot ranges (one process, one exit code)
+
+Exit status: 0 clean, 1 findings/stale allows, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import hotset                              # noqa: E402
+import rules                               # noqa: E402
+import stale                               # noqa: E402
+
+SOURCE_GLOBS = hotset.SOURCE_GLOBS
+
+
+def discover_files(args, root: Path) -> list:
+    """Relative paths of every file to analyze."""
+    found: set = set()
+    if args.src_root:
+        base = Path(args.src_root)
+        if not base.is_dir():
+            sys.exit(f"mpsim_analyze: no such directory: {base}")
+        root = base
+        for g in SOURCE_GLOBS:
+            found.update(p.relative_to(base).as_posix()
+                         for p in base.rglob(g))
+    else:
+        cc = Path(args.compile_commands)
+        if not cc.is_file():
+            sys.exit(f"mpsim_analyze: no such file: {cc} "
+                     "(configure cmake with CMAKE_EXPORT_COMPILE_COMMANDS)")
+        src = (root / "src").resolve()
+        for entry in json.loads(cc.read_text()):
+            f = Path(entry["file"])
+            if not f.is_absolute():
+                f = (Path(entry["directory"]) / f).resolve()
+            try:
+                found.add(
+                    (Path("src") / f.resolve().relative_to(src)).as_posix())
+            except ValueError:
+                continue  # tests/bench/examples TU — out of scope
+        # Headers never appear as TUs; inline hot-path code lives there.
+        for g in ("*.hpp", "*.h"):
+            found.update(p.relative_to(root).as_posix()
+                         for p in (root / "src").rglob(g))
+    return sorted(found), root
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        prog="mpsim_analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("--compile-commands", metavar="JSON",
+                     help="compile_commands.json naming the TUs")
+    src.add_argument("--src-root", metavar="DIR",
+                     help="analyze every C++ file under DIR instead "
+                          "(fixture trees, no build needed)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of tools/)")
+    ap.add_argument("--dump-hotset", action="store_true")
+    ap.add_argument("--dump-callgraph", action="store_true")
+    ap.add_argument("--dump-hot-files", metavar="FILE")
+    ap.add_argument("--emit-hot-ranges", metavar="FILE")
+    ap.add_argument("--check-stale-allows", action="store_true")
+    ap.add_argument("--with-lint", action="store_true")
+    args = ap.parse_args()
+
+    root = Path(args.root) if args.root \
+        else Path(__file__).resolve().parent.parent.parent
+    files, root = discover_files(args, root)
+    if not files:
+        sys.exit("mpsim_analyze: nothing to analyze")
+
+    lexed_files, defs, graph, hot = hotset.analyze_tree(root, files)
+
+    if args.dump_callgraph:
+        graph.dump(sys.stdout)
+        return 0
+    if args.dump_hotset:
+        for d in hot:
+            print(f"{d.path}:{d.start_line}-{d.end_line} {d.qualname}")
+        print(f"# {len(hot)} hot functions of {len(defs)} total, "
+              f"{len(graph.hot_files(hot))} files", file=sys.stderr)
+        return 0
+    if args.dump_hot_files:
+        out = "\n".join(graph.hot_files(hot)) + "\n"
+        if args.dump_hot_files == "-":
+            sys.stdout.write(out)
+        else:
+            Path(args.dump_hot_files).write_text(out)
+        return 0
+
+    hot_ranges = hotset.hot_ranges(hot)
+    if args.emit_hot_ranges:
+        Path(args.emit_hot_ranges).write_text(
+            "".join(f"{p}:{a}:{b}\n" for p, a, b in hot_ranges))
+
+    findings, used_allows = rules.run_rules(lexed_files, hot)
+    for f in findings:
+        print(f)
+
+    failures = len(findings)
+
+    if args.check_stale_allows:
+        for path, line in stale.stale_analyze_allows(lexed_files,
+                                                     used_allows):
+            print(f"{path}:{line}: [stale-allow] mpsim-analyze allow "
+                  "suppresses nothing — delete it")
+            failures += 1
+        for path, line in stale.stale_lint_allows(root, files,
+                                                  arena_hot_ranges=hot_ranges):
+            print(f"{path}:{line}: [stale-allow] mpsim-lint allow "
+                  "suppresses nothing — delete it")
+            failures += 1
+
+    if args.with_lint:
+        lint = stale._import_mpsim_lint()
+        lint_findings: list = []
+        for rel in files:
+            lint.lint_lines(rel, (root / rel).read_text().splitlines(),
+                            lint_findings, arena_hot_ranges=hot_ranges)
+        for lfind in lint_findings:
+            print(lfind)
+        failures += len(lint_findings)
+
+    if failures:
+        print(f"\nmpsim_analyze: {failures} finding(s); hot set "
+              f"{len(hot)}/{len(defs)} functions across "
+              f"{len(graph.hot_files(hot))} files", file=sys.stderr)
+        return 1
+    print(f"mpsim_analyze: OK ({len(files)} files, {len(defs)} functions, "
+          f"{len(hot)} hot)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

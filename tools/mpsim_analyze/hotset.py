@@ -1,0 +1,46 @@
+"""Shared front half of the analyzer: lex + parse + call graph + hot set.
+
+Used by __main__ (the CLI) and imported by tools/mpsim_lint.py so its
+standalone mode can rebase the arena-discipline rule onto the computed hot
+set instead of the legacy hard-coded file list.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from lexer import lex                  # noqa: E402
+from cpp_parser import parse_file      # noqa: E402
+from callgraph import CallGraph        # noqa: E402
+
+SOURCE_GLOBS = ("*.cpp", "*.hpp", "*.h")
+
+
+def discover_src(root: Path) -> list:
+    """Relative paths of every C++ file under root/src."""
+    found: set = set()
+    for g in SOURCE_GLOBS:
+        found.update(p.relative_to(root).as_posix()
+                     for p in (root / "src").rglob(g))
+    return sorted(found)
+
+
+def analyze_tree(root: Path, files: list):
+    """(lexed_files, defs, graph, hot) for `files` relative to `root`."""
+    lexed_files: dict = {}
+    defs: list = []
+    for rel in files:
+        lf = lex(rel, (root / rel).read_text())
+        lexed_files[rel] = lf
+        defs.extend(parse_file(lf))
+    graph = CallGraph(defs)
+    return lexed_files, defs, graph, graph.hot_set()
+
+
+def hot_ranges(hot) -> list:
+    """(path, body_start, end_line) per hot function — the granularity the
+    arena-discipline rule checks at."""
+    return [(d.path, d.body_start, d.end_line) for d in hot]

@@ -1,0 +1,162 @@
+"""C++ tokenizer for mpsim_analyze.
+
+A deliberately small lexer: enough C++ to build a symbol table and a call
+graph over this repository's sources, with zero third-party dependencies.
+It understands line/block comments, string/char literals (including raw
+strings), preprocessor lines, identifiers, numbers and multi-character
+punctuators. It does not preprocess: macros are tokenized as identifiers,
+which is what the call-site extractor wants (an `MPSIM_TRACE(rec, b(...))`
+site still exposes the builder call `b(...)` to the parser).
+
+Comments are not emitted as tokens, but `// mpsim-analyze: allow(...)` and
+`// mpsim-lint: allow(...)` markers are collected per line so rule passes
+can honor suppressions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+IDENT_CONT = IDENT_START | set("0123456789")
+
+# Longest-match punctuators the parser cares about distinguishing.
+PUNCT3 = ("<<=", ">>=", "...", "->*")
+PUNCT2 = ("::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+          "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=")
+
+ALLOW_RE = re.compile(r"//\s*mpsim-(analyze|lint):\s*allow\(([\w\-,\s]+)\)")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'number' | 'string' | 'char' | 'punct'
+    text: str
+    line: int
+
+
+@dataclass
+class LexedFile:
+    path: str
+    tokens: list  # list[Token]
+    lines: list   # raw source lines (1-based access via lines[i-1])
+    # line -> {(tool, rule), ...} for every allow marker on that line
+    allows: dict
+
+
+def _collect_allows(lines: list) -> dict:
+    allows: dict = {}
+    for i, raw in enumerate(lines, start=1):
+        for m in ALLOW_RE.finditer(raw):
+            tool = m.group(1)
+            for rule in m.group(2).split(","):
+                allows.setdefault(i, set()).add((tool, rule.strip()))
+    return allows
+
+
+def lex(path: str, text: str) -> LexedFile:
+    tokens: list = []
+    lines = text.splitlines()
+    n = len(text)
+    i = 0
+    line = 1
+
+    def peek(k: int = 0) -> str:
+        j = i + k
+        return text[j] if j < n else ""
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Comments.
+        if c == "/" and peek(1) == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+            continue
+        if c == "/" and peek(1) == "*":
+            j = text.find("*/", i + 2)
+            if j == -1:
+                j = n
+            line += text.count("\n", i, j)
+            i = j + 2 if j < n else n
+            continue
+        # Preprocessor: consume the directive line (and continuations).
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            while i < n:
+                j = text.find("\n", i)
+                if j == -1:
+                    i = n
+                    break
+                if text[j - 1] == "\\":
+                    line += 1
+                    i = j + 1
+                    continue
+                i = j  # leave the newline for the main loop
+                break
+            continue
+        # Raw strings: R"delim( ... )delim".
+        if c == "R" and peek(1) == '"':
+            m = re.match(r'R"([^()\\ ]{0,16})\(', text[i:])
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = text.find(close, i + m.end())
+                if j == -1:
+                    j = n
+                else:
+                    j += len(close)
+                tokens.append(Token("string", '""', line))
+                line += text.count("\n", i, j)
+                i = j
+                continue
+        if c == '"' or (c == "'" and not _is_digit_separator(tokens)):
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            tokens.append(Token("string" if quote == '"' else "char",
+                                '""' if quote == '"' else "' '", line))
+            line += text.count("\n", i, j)
+            i = j + 1
+            continue
+        if c in IDENT_START:
+            j = i + 1
+            while j < n and text[j] in IDENT_CONT:
+                j += 1
+            tokens.append(Token("ident", text[i:j], line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and peek(1).isdigit()):
+            j = i + 1
+            while j < n and (text[j] in IDENT_CONT or text[j] in ".'"
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("number", text[i:j], line))
+            i = j
+            continue
+        three, two = text[i:i + 3], text[i:i + 2]
+        if three in PUNCT3:
+            tokens.append(Token("punct", three, line))
+            i += 3
+        elif two in PUNCT2:
+            tokens.append(Token("punct", two, line))
+            i += 2
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+
+    return LexedFile(path=path, tokens=tokens, lines=lines,
+                     allows=_collect_allows(lines))
+
+
+def _is_digit_separator(tokens: list) -> bool:
+    """True when a ' directly follows a number token (1'000'000)."""
+    return bool(tokens) and tokens[-1].kind == "number"

@@ -1,0 +1,72 @@
+"""Stale suppression detection (--check-stale-allows).
+
+Two kinds of allow comments exist in src/:
+
+  * `// mpsim-analyze: allow(<rule>)` — consumed by this tool's rule
+    passes. An analyze-allow is stale when no rule pass used it to
+    suppress a finding on its own line or the line below.
+  * `// mpsim-lint: allow(<rule>)`   — consumed by tools/mpsim_lint.py.
+    A lint-allow is stale when re-linting the file with that one comment
+    stripped produces exactly the same findings: the comment blesses
+    nothing.
+
+Stale allows are worse than dead code: they are *standing permission* for
+a violation that no longer exists, so the next edit can silently
+reintroduce it pre-approved.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINT_ALLOW_RE = re.compile(r"//\s*mpsim-lint:\s*allow\([\w\-,\s]+\)")
+
+
+def _import_mpsim_lint():
+    tools_dir = str(Path(__file__).resolve().parent.parent)
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    import mpsim_lint
+    return mpsim_lint
+
+
+def stale_analyze_allows(lexed_files: dict, used_allows: set) -> list:
+    """(path, line) of every mpsim-analyze allow no rule pass consumed."""
+    stale = []
+    for path, lf in lexed_files.items():
+        for line, marks in lf.allows.items():
+            if any(tool == "analyze" for tool, _ in marks) \
+                    and (path, line) not in used_allows:
+                stale.append((path, line))
+    return sorted(stale)
+
+
+def stale_lint_allows(root: Path, files: list, arena_hot_ranges=None) -> list:
+    """(relpath, line) of every mpsim-lint allow whose removal changes
+    nothing. `files` are paths relative to `root`."""
+    lint = _import_mpsim_lint()
+    stale = []
+    for rel in files:
+        path = root / rel
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            continue
+        marked = [i for i, raw in enumerate(lines, start=1)
+                  if LINT_ALLOW_RE.search(raw)]
+        if not marked:
+            continue
+        baseline = []
+        lint.lint_lines(rel, lines, baseline,
+                        arena_hot_ranges=arena_hot_ranges)
+        for ln in marked:
+            probe = list(lines)
+            probe[ln - 1] = LINT_ALLOW_RE.sub("", probe[ln - 1])
+            findings = []
+            lint.lint_lines(rel, probe, findings,
+                            arena_hot_ranges=arena_hot_ranges)
+            if len(findings) == len(baseline):
+                stale.append((rel, ln))
+    return sorted(stale)

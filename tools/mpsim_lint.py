@@ -41,12 +41,20 @@ arena-discipline    The per-event hot paths (event scheduling, subflow ACK
                     per-subflow and per-queue hot state lives in the
                     SimArena SoA columns, packets in the pool, wheel slots
                     in reserved vectors. Any `new` / make_unique /
-                    make_shared / malloc in those files is a finding; the
-                    rare legitimate one-off (backend migration, arena
-                    chunk growth) carries an allow comment. For this rule
-                    only, the allow may sit on the preceding line — the
+                    make_shared / malloc there is a finding; the rare
+                    legitimate one-off (backend migration, arena chunk
+                    growth) carries an allow comment. For this rule only,
+                    the allow may sit on the preceding line — the
                     allocation statements it blesses are usually already
                     at the 80-column limit.
+                    Where "hot" means: with --arena-hot-ranges (the
+                    normal mode — `make analyze` and the analyze ctest/CI
+                    lane feed ranges computed by tools/mpsim_analyze),
+                    every function body reachable from event dispatch,
+                    wherever it lives. Standalone (no build tree), the
+                    ARENA_HOT_FILES fallback list below — a file-granular
+                    under-approximation kept for `ctest -R mpsim_lint`
+                    and pre-build use.
 registry-discipline Scenario-registry registrations (add_topology /
                     add_algorithm / add_traffic with a literal key) live in
                     src/scenario/builders.cpp and nowhere else, and every
@@ -71,6 +79,7 @@ from pathlib import Path
 SOURCE_GLOBS = ("*.cpp", "*.hpp", "*.h")
 
 ALLOW_RE = re.compile(r"//\s*mpsim-lint:\s*allow\(([\w\-,\s]+)\)")
+ANALYZE_ALLOW_RE = re.compile(r"//\s*mpsim-analyze:\s*allow\(([\w\-,\s]+)\)")
 
 # Strip string literals and comments before matching so rule regexes cannot
 # fire on prose. (Line comments are kept for ALLOW_RE, handled separately.)
@@ -96,6 +105,15 @@ def code_of(line: str) -> str:
 
 def allowed_rules(line: str) -> set[str]:
     m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def analyze_allowed_rules(line: str) -> set[str]:
+    """tools/mpsim_analyze's allow marker; its hot-alloc rule subsumes
+    arena-discipline, so either spelling suppresses the allocation rule."""
+    m = ANALYZE_ALLOW_RE.search(line)
     if not m:
         return set()
     return {r.strip() for r in m.group(1).split(",")}
@@ -178,17 +196,23 @@ def check_regex_rule(path: Path, lines: list[str], in_block: list[bool],
 
 
 def check_arena_rule(path: Path, lines: list[str], in_block: list[bool],
-                     findings: list[Finding]) -> None:
+                     findings: list[Finding],
+                     ranges: list[tuple[int, int]] | None = None) -> None:
     """No heap allocation in per-event hot paths; the allow comment may
     sit on the flagged line or the one before it (clang-format keeps the
-    allocation statements at the 80-column limit)."""
+    allocation statements at the 80-column limit). When `ranges` is given
+    (computed hot function bodies from tools/mpsim_analyze), only lines
+    inside a range are checked; otherwise the whole file is."""
     for i, raw in enumerate(lines, start=1):
         if in_block[i - 1]:
             continue
-        allows = allowed_rules(raw)
+        if ranges is not None and not any(a <= i <= b for a, b in ranges):
+            continue
+        allows = allowed_rules(raw) | analyze_allowed_rules(raw)
         if i >= 2:
             allows |= allowed_rules(lines[i - 2])
-        if "arena-discipline" in allows:
+            allows |= analyze_allowed_rules(lines[i - 2])
+        if "arena-discipline" in allows or "hot-alloc" in allows:
             continue
         if ARENA_RE.search(code_of(raw)):
             findings.append(Finding(
@@ -271,9 +295,43 @@ def check_registry_keys(path: Path, text: str,
             seen[(kind, key)] = line
 
 
-def lint_file(path: Path, findings: list[Finding]) -> None:
-    rel = path.as_posix()
-    lines = path.read_text().splitlines()
+def computed_hot_ranges(root: Path):
+    """Hot function body ranges computed by tools/mpsim_analyze over
+    root/src, or None (-> ARENA_HOT_FILES fallback) if the analyzer or a
+    parseable tree is unavailable."""
+    try:
+        pkg = Path(__file__).resolve().parent / "mpsim_analyze"
+        if str(pkg) not in sys.path:
+            sys.path.insert(0, str(pkg))
+        import hotset
+        files = hotset.discover_src(root)
+        if not files:
+            return None
+        _, _, _, hot = hotset.analyze_tree(root, files)
+        return hotset.hot_ranges(hot)
+    except Exception:
+        return None
+
+
+def lint_file(path: Path, findings: list[Finding],
+              arena_hot_ranges=None) -> None:
+    lint_lines(path.as_posix(), path.read_text().splitlines(), findings,
+               arena_hot_ranges=arena_hot_ranges)
+
+
+def lint_lines(rel: str, lines: list[str], findings: list[Finding],
+               arena_hot_ranges=None) -> None:
+    """Lint one file given as (posix path, lines). Path-based exemptions
+    key off `rel`, so callers (tools/mpsim_analyze's stale-allow prober)
+    can lint modified text under the file's real identity.
+
+    `arena_hot_ranges` rebases the arena-discipline rule from the
+    hard-coded ARENA_HOT_FILES list onto computed reachability: a list of
+    (path, start_line, end_line) hot function bodies, as emitted by
+    `mpsim_analyze --emit-hot-ranges`. Files with no hot range are then
+    exempt; listed ranges are checked wherever they live.
+    """
+    path = Path(rel)
     in_block = in_block_comment_map(lines)
 
     if not rel.endswith("net/packet.cpp"):
@@ -299,7 +357,12 @@ def lint_file(path: Path, findings: list[Finding]) -> None:
                          "guard", findings)
     if not rel.endswith("core/time.hpp"):
         check_simtime_rule(path, lines, findings)
-    if rel.endswith(ARENA_HOT_FILES):
+    if arena_hot_ranges is not None:
+        ranges = [(a, b) for p, a, b in arena_hot_ranges
+                  if rel.endswith(p) or p.endswith(rel)]
+        if ranges:
+            check_arena_rule(path, lines, in_block, findings, ranges=ranges)
+    elif rel.endswith(ARENA_HOT_FILES):
         check_arena_rule(path, lines, in_block, findings)
     if rel.endswith("scenario/builders.cpp"):
         check_registry_keys(path, "\n".join(lines), findings)
@@ -318,9 +381,30 @@ def main() -> int:
                     help="files or directories to lint (default: src/)")
     ap.add_argument("--root", default=None,
                     help="repo root (default: parent of this script's dir)")
+    ap.add_argument("--arena-hot-ranges", metavar="FILE", default=None,
+                    help="rebase arena-discipline onto computed hot ranges "
+                         "(path:start:end per line, from mpsim_analyze "
+                         "--emit-hot-ranges) instead of the built-in "
+                         "hot-file list")
     args = ap.parse_args()
 
     root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+
+    arena_hot_ranges = None
+    if args.arena_hot_ranges:
+        arena_hot_ranges = []
+        for raw in Path(args.arena_hot_ranges).read_text().splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            p, start, end = raw.rsplit(":", 2)
+            arena_hot_ranges.append((p, int(start), int(end)))
+    else:
+        # No ranges file given: compute the hot set ourselves through
+        # tools/mpsim_analyze (pure stdlib, no build needed), so standalone
+        # runs check the same function-granular hot set as the analyzer.
+        # ARENA_HOT_FILES remains the file-granular fallback if that fails.
+        arena_hot_ranges = computed_hot_ranges(root)
     targets = [Path(p) for p in args.paths] if args.paths else [root / "src"]
 
     files: list[Path] = []
@@ -336,7 +420,7 @@ def main() -> int:
 
     findings: list[Finding] = []
     for f in files:
-        lint_file(f, findings)
+        lint_file(f, findings, arena_hot_ranges=arena_hot_ranges)
 
     for fi in findings:
         print(fi)
