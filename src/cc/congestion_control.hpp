@@ -24,6 +24,12 @@ class ConnectionView {
   virtual double cwnd_pkts(std::size_t r) const = 0;
   // Smoothed RTT in seconds (a sane fallback before the first sample).
   virtual double srtt_sec(std::size_t r) const = 0;
+  // Whether subflow r currently participates in sending. Dropped (dead,
+  // awaiting re-probe) subflows are excluded from every coupling sweep:
+  // eq. (1)'s sums range over the paths actually in use, and a dead path's
+  // frozen window must not dilute the increase applied to live ones.
+  // Defaults to true so fixed-subflow-set views need not override it.
+  virtual bool subflow_active(std::size_t /*r*/) const { return true; }
 };
 
 class CongestionControl {
@@ -43,7 +49,13 @@ class CongestionControl {
   virtual std::string name() const = 0;
 };
 
-// Total window across all subflows, in packets.
+// Total window across all *active* subflows, in packets. Checks (throwing
+// build) that every active subflow has a positive window and RTT and that
+// at least one subflow is active — congestion control must never be
+// consulted for a connection whose whole path set is dropped.
 double total_window(const ConnectionView& c);
+
+// Number of active subflows (the n in EWTCP's default 1/n weight).
+std::size_t active_subflow_count(const ConnectionView& c);
 
 }  // namespace mpsim::cc

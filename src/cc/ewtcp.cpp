@@ -4,7 +4,9 @@ namespace mpsim::cc {
 
 double Ewtcp::weight_for(const ConnectionView& c) const {
   if (weight_ > 0.0) return weight_;
-  return 1.0 / static_cast<double>(c.num_subflows());
+  // Default 1/n over the paths actually in use: a dropped (inactive)
+  // subflow must not depress the weight of the survivors.
+  return 1.0 / static_cast<double>(active_subflow_count(c));
 }
 
 double Ewtcp::increase_per_ack(const ConnectionView& c, std::size_t r) const {

@@ -81,8 +81,13 @@ double MptcpLia::increase_bruteforce(std::span<const double> windows,
 
 double MptcpLia::increase_per_ack(const ConnectionView& c,
                                   std::size_t r) const {
+  MPSIM_CHECK(c.subflow_active(r),
+              "LIA increase requested for an inactive subflow");
   // Snapshot the per-path state into stack buffers: this runs once per ACK,
   // and heap-allocating vectors here showed up in the FatTree profile.
+  // Only *active* subflows are copied — eq. (1)'s sums range over the
+  // paths in use — so `m` is the compacted count and `k` is r's index in
+  // the compacted ordering.
   const std::size_t n = c.num_subflows();
   std::array<double, kInlinePaths> w_buf;
   std::array<double, kInlinePaths> rtt_buf;
@@ -99,15 +104,20 @@ double MptcpLia::increase_per_ack(const ConnectionView& c,
     w = w_spill.data();
     rtt = rtt_spill.data();
   }
+  std::size_t m = 0;
+  std::size_t k = 0;
   for (std::size_t s = 0; s < n; ++s) {
-    w[s] = c.cwnd_pkts(s);
-    MPSIM_CHECK(w[s] > 0.0,
+    if (!c.subflow_active(s)) continue;
+    if (s == r) k = m;
+    w[m] = c.cwnd_pkts(s);
+    MPSIM_CHECK(w[m] > 0.0,
                 "congestion window must stay positive (>= min_cwnd)");
-    rtt[s] = c.srtt_sec(s);
-    MPSIM_CHECK(rtt[s] > 0.0, "smoothed RTT must be positive");
+    rtt[m] = c.srtt_sec(s);
+    MPSIM_CHECK(rtt[m] > 0.0, "smoothed RTT must be positive");
+    ++m;
   }
-  const double inc = increase_linear(std::span<const double>(w, n),
-                                     std::span<const double>(rtt, n), r);
+  const double inc = increase_linear(std::span<const double>(w, m),
+                                     std::span<const double>(rtt, m), k);
   // Eq. (1): the minimum over subsets containing r is bounded by the
   // singleton-equivalent term, i.e. never more aggressive than 1/w_r.
   MPSIM_CHECK(inc > 0.0 && inc <= 1.0 / c.cwnd_pkts(r) + 1e-12,

@@ -10,6 +10,7 @@ double Rfc6356::alpha(const ConnectionView& c) {
   double max_term = 0.0;
   double sum_term = 0.0;
   for (std::size_t r = 0; r < c.num_subflows(); ++r) {
+    if (!c.subflow_active(r)) continue;
     const double w = c.cwnd_pkts(r);
     const double rtt = c.srtt_sec(r);
     max_term = std::max(max_term, w / (rtt * rtt));

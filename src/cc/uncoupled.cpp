@@ -8,13 +8,26 @@ double total_window(const ConnectionView& c) {
   MPSIM_CHECK(c.num_subflows() > 0,
               "congestion control invoked with no subflows");
   double total = 0.0;
+  std::size_t active = 0;
   for (std::size_t r = 0; r < c.num_subflows(); ++r) {
+    if (!c.subflow_active(r)) continue;
     MPSIM_CHECK(c.cwnd_pkts(r) > 0.0,
                 "congestion window must stay positive (>= min_cwnd)");
     MPSIM_CHECK(c.srtt_sec(r) > 0.0, "smoothed RTT must be positive");
     total += c.cwnd_pkts(r);
+    ++active;
   }
+  MPSIM_CHECK(active > 0,
+              "congestion control invoked with no active subflows");
   return total;
+}
+
+std::size_t active_subflow_count(const ConnectionView& c) {
+  std::size_t active = 0;
+  for (std::size_t r = 0; r < c.num_subflows(); ++r) {
+    if (c.subflow_active(r)) ++active;
+  }
+  return active;
 }
 
 double Uncoupled::increase_per_ack(const ConnectionView& c,

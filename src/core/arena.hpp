@@ -41,6 +41,7 @@ struct alignas(64) SubflowHot {
   std::uint64_t snd_nxt = 0;   // next subflow seq to send
   std::uint32_t in_recovery = 0;  // bool; 32-bit to keep the row packed
   std::uint32_t rtt_valid = 0;    // RttEstimator::has_sample()
+  std::uint32_t active = 1;       // participates in sending and eq. (1)
 };
 static_assert(sizeof(SubflowHot) == 64, "one cache line per subflow");
 
@@ -66,6 +67,14 @@ class SimArena final : public EventList::Service {
   const SubflowHot& subflow(std::uint32_t id) const { return subflows_[id]; }
   std::uint32_t num_subflows() const { return subflows_.size(); }
 
+  // Returns a subflow row to the column's free list; the next add_subflow()
+  // reuses it (value-reinitialised). Called from tcp::Subflow's destructor
+  // so flow churn — thousands of short connections opening and closing —
+  // keeps the arena's footprint at the *live* subflow count instead of the
+  // all-time total.
+  void release_subflow(std::uint32_t id) { subflows_.release(id); }
+  std::uint32_t free_subflow_rows() const { return subflows_.free_rows(); }
+
   std::uint32_t add_queue() { return queues_.add(); }
   QueueHot& queue(std::uint32_t id) { return queues_[id]; }
   const QueueHot& queue(std::uint32_t id) const { return queues_[id]; }
@@ -74,16 +83,29 @@ class SimArena final : public EventList::Service {
  private:
   // A growable column of rows with stable addresses: chunks are allocated
   // once and never moved or freed until the arena dies. 64 rows x 64 bytes
-  // = one 4 KiB page per chunk.
+  // = one 4 KiB page per chunk. Released rows go on a LIFO free list and
+  // are handed back (value-reinitialised) before the column grows, so
+  // size() is a high-water mark of *concurrently live* rows, not a count
+  // of every row ever created.
   template <typename T>
   class Column {
    public:
     std::uint32_t add() {
+      if (!free_.empty()) {
+        const std::uint32_t id = free_.back();
+        free_.pop_back();
+        (*this)[id] = T{};
+        return id;
+      }
       if ((count_ & kMask) == 0) {
         chunks_.push_back(std::make_unique<Chunk>());
       }
       return count_++;
     }
+    // Subflow-teardown granularity; the free list's growth is amortized
+    // and bounded by the high-water row count.
+    // mpsim-analyze: allow(hot-alloc)
+    void release(std::uint32_t id) { free_.push_back(id); }
     T& operator[](std::uint32_t id) {
       return (*chunks_[id >> kShift])[id & kMask];
     }
@@ -91,12 +113,16 @@ class SimArena final : public EventList::Service {
       return (*chunks_[id >> kShift])[id & kMask];
     }
     std::uint32_t size() const { return count_; }
+    std::uint32_t free_rows() const {
+      return static_cast<std::uint32_t>(free_.size());
+    }
 
    private:
     static constexpr std::uint32_t kShift = 6;
     static constexpr std::uint32_t kMask = (1u << kShift) - 1;
     using Chunk = std::array<T, kMask + 1>;
     std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::vector<std::uint32_t> free_;
     std::uint32_t count_ = 0;
   };
 

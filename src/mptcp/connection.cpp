@@ -6,6 +6,7 @@
 
 #include "cc/uncoupled.hpp"
 #include "core/check.hpp"
+#include "mptcp/path_manager.hpp"
 
 namespace mpsim::mptcp {
 
@@ -29,20 +30,35 @@ MptcpConnection::MptcpConnection(EventList& events, std::string name,
         &events_, trace_,
         trace_->register_object(EventSource::name() + "/sched"), flow_id_);
   }
+  receiver_.set_wire_counter(&wire_refs_);
+}
+
+MptcpConnection::~MptcpConnection() {
+  // Remove the pending start/pump wake-up, if any. The receiver and the
+  // subflows cancel their own events (and release their arena rows) in
+  // their destructors, which member destruction order runs next.
+  events_.cancel(*this);
 }
 
 tcp::Subflow& MptcpConnection::add_subflow(
     const std::vector<net::PacketSink*>& fwd_path,
     const std::vector<net::PacketSink*>& rev_path) {
+  // Subflow opens happen at path-management granularity — a handful per
+  // connection lifetime, never per packet — so constructing the subflow
+  // and its routes may allocate even when reached from a PathManager scan.
   const auto id = static_cast<std::uint32_t>(subflows_.size());
+  // mpsim-analyze: allow(hot-alloc)
   auto sub = std::make_unique<tcp::Subflow>(
+      // mpsim-analyze: allow(hot-alloc)
       events_, EventSource::name() + "/sf" + std::to_string(id), *this,
       flow_id_, id, cfg_.subflow);
 
+  // mpsim-analyze: allow(hot-alloc)
   auto fwd = std::make_unique<net::Route>();
   for (auto* hop : fwd_path) fwd->push_back(hop);
   fwd->push_back(&receiver_);
 
+  // mpsim-analyze: allow(hot-alloc)
   auto rev = std::make_unique<net::Route>();
   for (auto* hop : rev_path) rev->push_back(hop);
   rev->push_back(sub.get());
@@ -51,12 +67,26 @@ tcp::Subflow& MptcpConnection::add_subflow(
   rev->set_reverse(fwd.get());
 
   sub->set_route(*fwd);
+  sub->set_wire_counter(&wire_refs_);
   receiver_.add_subflow(*rev);
 
+  // mpsim-analyze: allow(hot-alloc)
   routes_.push_back(std::move(fwd));
+  // mpsim-analyze: allow(hot-alloc)
   routes_.push_back(std::move(rev));
+  // mpsim-analyze: allow(hot-alloc)
   subflows_.push_back(std::move(sub));
+  // mpsim-analyze: allow(hot-alloc)
   hot_.push_back(&subflows_.back()->hot());
+
+  // Record subflow-set changes of a *live* connection only: build-time
+  // path registration is structural configuration, not a lifecycle event
+  // (and predates any interesting timeline anyway).
+  if (started_) {
+    MPSIM_TRACE(trace_,
+                trace::subflow_add(events_.now(), trace_id_, flow_id_, id,
+                                   num_active_subflows(), subflows_.size()));
+  }
 
   // Subflows may join an already-running connection (§6: "additional
   // subflows can be initiated"; e.g. a newly acquired basestation). Kick
@@ -67,10 +97,23 @@ tcp::Subflow& MptcpConnection::add_subflow(
   return *subflows_.back();
 }
 
+PathManager& MptcpConnection::attach_path_manager(
+    const PathManagerConfig& pm_cfg) {
+  MPSIM_CHECK(path_manager_ == nullptr,
+              "connection already has a path manager");
+  path_manager_ =
+      std::make_unique<PathManager>(events_, *this, pm_cfg);
+  if (started_) {
+    path_manager_->start(std::max(events_.now(), start_time_));
+  }
+  return *path_manager_;
+}
+
 void MptcpConnection::start(SimTime at) {
   started_ = true;
   start_time_ = at;
   events_.schedule_at(*this, at);
+  if (path_manager_ != nullptr) path_manager_->start(at);
 }
 
 void MptcpConnection::on_event() {
@@ -124,12 +167,51 @@ void MptcpConnection::reset_subflow(std::size_t r) {
   subflows_[r]->force_timeout();
 }
 
+void MptcpConnection::drop_subflow(std::size_t r, bool rto_dead) {
+  MPSIM_CHECK(r < subflows_.size(), "drop_subflow index out of range");
+  tcp::Subflow& sf = *subflows_[r];
+  if (!sf.active()) return;
+  // Strand nothing: everything still unacknowledged on the dying subflow
+  // becomes a reinjection candidate for the survivors (already-acked seqs
+  // are filtered by the scheduler). If no sibling is currently active the
+  // seqs wait in the queue for the next reactivation.
+  const std::vector<std::uint64_t> outstanding = sf.outstanding_data();
+  sf.deactivate();
+  scheduler_.reinject(outstanding);
+  // Entries targeting data the receiver already has must not linger in the
+  // dedup set now that no ACK from this subflow will retire them promptly.
+  scheduler_.purge_acked();
+  MPSIM_TRACE(trace_,
+              trace::subflow_drop(events_.now(), trace_id_, flow_id_,
+                                  static_cast<std::uint32_t>(r),
+                                  rto_dead ? trace::kDropRtoDead
+                                           : trace::kDropAdmin,
+                                  outstanding.size()));
+  pump_all();
+}
+
+void MptcpConnection::reactivate_subflow(std::size_t r) {
+  MPSIM_CHECK(r < subflows_.size(), "reactivate_subflow index out of range");
+  tcp::Subflow& sf = *subflows_[r];
+  if (sf.active()) return;
+  sf.reactivate();
+  MPSIM_TRACE(trace_, trace::subflow_add(events_.now(), trace_id_, flow_id_,
+                                         static_cast<std::uint32_t>(r),
+                                         num_active_subflows(),
+                                         subflows_.size()));
+  pump_all();
+}
+
 void MptcpConnection::on_subflow_rto(
     std::uint32_t subflow_id,
     const std::vector<std::uint64_t>& outstanding) {
-  // Only reinject if a sibling exists to carry the data; the timed-out
-  // subflow itself still go-back-N retransmits on its own schedule.
-  if (subflows_.size() > 1) scheduler_.reinject(outstanding);
+  // Only reinject if an *active* sibling exists to carry the data; the
+  // timed-out subflow itself still go-back-N retransmits on its own
+  // schedule.
+  if (num_active_subflows() > 1) scheduler_.reinject(outstanding);
+  // A reset is also the moment stale pending entries (queued for data the
+  // receiver meanwhile acknowledged) are guaranteed purgeable.
+  scheduler_.purge_acked();
   (void)subflow_id;
   pump_all();
 }

@@ -34,6 +34,9 @@
 
 namespace mpsim::mptcp {
 
+class PathManager;
+struct PathManagerConfig;
+
 struct ConnectionConfig {
   // Shared receive buffer in packets. The default is large enough that flow
   // control only binds in the dedicated §6 experiments.
@@ -62,6 +65,13 @@ class MptcpConnection : public tcp::SubflowHost,
   MptcpConnection(EventList& events, std::string name,
                   const cc::CongestionControl& cc, ConnectionConfig cfg = {});
 
+  // Teardown cancels every pending event of the connection, its receiver,
+  // and its subflows, and returns all arena rows — a destroyed connection
+  // leaves nothing behind in the simulation (the lifecycle contract the
+  // Poisson churn generator's reclamation relies on). Out of line because
+  // PathManager is incomplete here.
+  ~MptcpConnection() override;
+
   // Register a path. `fwd_path` / `rev_path` are the network elements data
   // and ACKs traverse, in order, excluding endpoints. Returns the subflow.
   // May be called on a running connection: the new subflow joins the
@@ -69,6 +79,15 @@ class MptcpConnection : public tcp::SubflowHost,
   // the coupled congestion controller sees it from the next ACK on.
   tcp::Subflow& add_subflow(const std::vector<net::PacketSink*>& fwd_path,
                             const std::vector<net::PacketSink*>& rev_path);
+
+  // Attach a PathManager policy object (mptcp/path_manager.hpp) that owns
+  // this connection's subflow-set decisions: which candidate paths to open
+  // at start, when the threshold strategy adds one mid-transfer, and when
+  // an RTO-dead subflow is dropped and re-probed. At most one per
+  // connection; started together with the connection.
+  PathManager& attach_path_manager(const PathManagerConfig& pm_cfg);
+  PathManager* path_manager() { return path_manager_.get(); }
+  const PathManager* path_manager() const { return path_manager_.get(); }
 
   // Begin transmitting at simulated time `at`.
   void start(SimTime at);
@@ -93,6 +112,9 @@ class MptcpConnection : public tcp::SubflowHost,
     return h.in_recovery != 0 ? std::min(h.cwnd, h.ssthresh) : h.cwnd;
   }
   double srtt_sec(std::size_t r) const override;
+  bool subflow_active(std::size_t r) const override {
+    return hot_[r]->active != 0;
+  }
 
   // --- EventSource (start trigger) ---
   void on_event() override;
@@ -101,6 +123,22 @@ class MptcpConnection : public tcp::SubflowHost,
   // if its RTO fired now — min window, go-back-N, backoff — and its
   // outstanding data becomes eligible for reinjection on siblings.
   void reset_subflow(std::size_t r);
+
+  // --- subflow-set lifecycle (driven by the PathManager, or directly) ---
+  // Drop subflow r from the live set: its outstanding data is handed to
+  // the scheduler for sibling reinjection and the subflow stops sending
+  // and is excluded from the coupled controller's sweeps. The row is never
+  // erased (ids are positional: the receiver demuxes on them), so a
+  // dropped subflow can later be re-probed. Emits a kSubflowDrop record.
+  void drop_subflow(std::size_t r, bool rto_dead);
+  // Re-probe a dropped subflow: fresh slow start on the same path.
+  // Emits a kSubflowAdd record.
+  void reactivate_subflow(std::size_t r);
+  std::size_t num_active_subflows() const {
+    std::size_t n = 0;
+    for (const SubflowHot* h : hot_) n += (h->active != 0) ? 1 : 0;
+    return n;
+  }
 
   // --- observability ---
   tcp::Subflow& subflow(std::size_t r) { return *subflows_[r]; }
@@ -122,6 +160,15 @@ class MptcpConnection : public tcp::SubflowHost,
   std::function<void()> on_complete;
 
   std::uint64_t hol_reinjections() const { return hol_reinjections_; }
+
+  // Wire-reference ledger: packets this connection's endpoints put on the
+  // wire that the pool has not yet taken back (in a queue, in a pipe, or
+  // being delivered). Zero means no packet anywhere references this
+  // connection's sinks or routes.
+  std::uint64_t wire_refs() const { return wire_refs_; }
+  // Safe-teardown predicate for flow reclamation: the transfer is fully
+  // acknowledged and nothing in flight can call back into this object.
+  bool reclaimable() const { return complete() && wire_refs_ == 0; }
 
  private:
   void pump_all();
@@ -150,6 +197,12 @@ class MptcpConnection : public tcp::SubflowHost,
   // Flight recorder, cached at construction (nullptr = tracing off).
   trace::TraceRecorder* trace_ = nullptr;
   std::uint16_t trace_id_ = 0;
+
+  std::uint64_t wire_refs_ = 0;
+
+  // Declared last: destroyed first, while the subflows and receiver it
+  // observes are still alive.
+  std::unique_ptr<PathManager> path_manager_;
 };
 
 // Convenience: a regular single-path TCP (one subflow, UNCOUPLED).

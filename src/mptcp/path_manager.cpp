@@ -1,0 +1,142 @@
+#include "mptcp/path_manager.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "mptcp/connection.hpp"
+
+namespace mpsim::mptcp {
+
+PathManager::PathManager(EventList& events, MptcpConnection& conn,
+                         const PathManagerConfig& cfg)
+    : EventSource(conn.name() + "/pm"),
+      events_(events),
+      conn_(conn),
+      cfg_(cfg) {
+  MPSIM_CHECK(cfg_.max_subflows > 0, "path manager needs max_subflows >= 1");
+  MPSIM_CHECK(cfg_.scan_period > 0, "path manager needs a positive period");
+}
+
+PathManager::~PathManager() { events_.cancel(*this); }
+
+void PathManager::add_candidate(std::vector<net::PacketSink*> fwd,
+                                std::vector<net::PacketSink*> rev) {
+  candidates_.push_back(Candidate{std::move(fwd), std::move(rev)});
+}
+
+void PathManager::start(SimTime at) {
+  if (started_) return;
+  started_ = true;
+  events_.schedule_at(*this, at);
+}
+
+void PathManager::open_next_candidate() {
+  MPSIM_CHECK(!candidates_.empty(), "no candidate paths registered");
+  const Candidate& c = candidates_[next_candidate_ % candidates_.size()];
+  ++next_candidate_;
+  conn_.add_subflow(c.fwd, c.rev);
+  ++opened_;
+}
+
+void PathManager::open_initial() {
+  switch (cfg_.strategy) {
+    case PathStrategy::kFullMesh:
+      // Every registered path at once (the kernel fullmesh default).
+      while (next_candidate_ < candidates_.size() &&
+             conn_.num_subflows() < cfg_.max_subflows) {
+        open_next_candidate();
+      }
+      break;
+    case PathStrategy::kNDiffPorts: {
+      const std::size_t target = std::min(cfg_.ndiffports, cfg_.max_subflows);
+      while (conn_.num_subflows() < target && !candidates_.empty()) {
+        open_next_candidate();
+      }
+      break;
+    }
+    case PathStrategy::kThreshold:
+      // Start single-path; scans add more as bytes are delivered.
+      if (conn_.num_subflows() == 0 && !candidates_.empty()) {
+        open_next_candidate();
+      }
+      break;
+  }
+  MPSIM_CHECK(conn_.num_subflows() > 0,
+              "path manager started a connection with no subflows");
+}
+
+void PathManager::on_event() {
+  if (!opened_initial_) {
+    opened_initial_ = true;
+    open_initial();
+  }
+  scan();
+  // Stop rescheduling once the transfer is fully acknowledged: a manager
+  // that kept scanning would pin its completed connection in the event
+  // list forever and churn-scale reclamation could never drain.
+  if (conn_.complete()) return;
+  events_.schedule_at(*this, events_.now() + cfg_.scan_period);
+}
+
+void PathManager::scan() {
+  const SimTime now = events_.now();
+
+  // Threshold adds: one new subflow per add_threshold_bytes delivered
+  // (htsim SubflowControl's byte counter), while unused candidates remain.
+  if (cfg_.strategy == PathStrategy::kThreshold &&
+      cfg_.add_threshold_bytes > 0) {
+    const std::uint64_t delivered =
+        conn_.scheduler().data_cum_ack() * net::kDataPacketBytes;
+    if (delivered - last_add_bytes_ >= cfg_.add_threshold_bytes &&
+        conn_.num_subflows() < cfg_.max_subflows &&
+        next_candidate_ < candidates_.size()) {
+      open_next_candidate();
+      last_add_bytes_ = delivered;
+    }
+  }
+
+  // Dead-path detection and re-probe, all strategies. The connection may
+  // also grow subflows behind our back (direct add_subflow calls); the
+  // watch table tracks whatever rows exist.
+  // mpsim-analyze: allow(hot-alloc)
+  if (watch_.size() < conn_.num_subflows()) watch_.resize(conn_.num_subflows());
+  for (std::size_t r = 0; r < conn_.num_subflows(); ++r) {
+    Watch& w = watch_[r];
+    const tcp::Subflow& sf = conn_.subflow(r);
+    if (sf.active()) {
+      const std::uint64_t timeouts = sf.timeouts();
+      const std::uint64_t acked = sf.packets_acked();
+      if (acked > w.last_acked) {
+        w.stalled_rtos = 0;  // forward progress clears the strike count
+      } else if (timeouts > w.last_timeouts) {
+        w.stalled_rtos +=
+            static_cast<std::uint32_t>(timeouts - w.last_timeouts);
+      }
+      w.last_timeouts = timeouts;
+      w.last_acked = acked;
+      if (w.stalled_rtos >= cfg_.dead_after_rtos &&
+          conn_.num_active_subflows() > 1) {
+        // Repeated RTOs, nothing acked: the path is dead. Never drop the
+        // last active subflow — with no sibling to carry the stream the
+        // right behaviour is to keep backing off, not to go silent.
+        conn_.drop_subflow(r, /*rto_dead=*/true);
+        w.dropped_at = now;
+        w.stalled_rtos = 0;
+        ++dropped_;
+      }
+    } else if (w.dropped_at != kNever &&
+               now - w.dropped_at >= cfg_.reprobe_backoff) {
+      // Our drop, backoff elapsed: probe the path again from slow start.
+      conn_.reactivate_subflow(r);
+      w.dropped_at = kNever;
+      w.last_timeouts = sf.timeouts();
+      w.last_acked = sf.packets_acked();
+      w.stalled_rtos = 0;
+      ++reprobes_;
+    }
+    // (inactive with dropped_at == kNever: someone else deactivated it;
+    // leave their decision alone.)
+  }
+}
+
+}  // namespace mpsim::mptcp

@@ -20,9 +20,13 @@ MptcpReceiver::MptcpReceiver(EventList& events, std::string name,
 }
 
 void MptcpReceiver::add_subflow(const net::Route& ack_route) {
+  // Subflow-open granularity (see MptcpConnection::add_subflow): the
+  // receive path proper never reaches this.
   SubflowRx rx;
   rx.ack_route = &ack_route;
+  // mpsim-analyze: allow(hot-alloc)
   rx.ooo.reserve(capacity_);
+  // mpsim-analyze: allow(hot-alloc)
   subflows_.push_back(std::move(rx));
 }
 
@@ -148,6 +152,10 @@ void MptcpReceiver::emit_ack(std::uint32_t subflow_id, SimTime ts_echo,
   ack.is_retransmit = is_retx;
   ack.is_window_update = window_update;
   if (ack.rcv_window == 0) advertised_zero_ = true;
+  if (wire_counter_ != nullptr) {
+    ++*wire_counter_;
+    ack.wire_refs = wire_counter_;
+  }
   ++acks_sent_;
   ack.send_on(*sub.ack_route);
 }

@@ -35,9 +35,17 @@ class MptcpReceiver : public net::PacketSink, public EventSource {
   MptcpReceiver(EventList& events, std::string name, std::uint32_t flow_id,
                 std::uint64_t buffer_pkts);
 
+  // Teardown cancels any pending delayed-ACK / app-drain wake-up so a
+  // reclaimed connection leaves no dangling event behind.
+  ~MptcpReceiver() override { events_.cancel(*this); }
+
   // Register the ACK return route for the next subflow (call order defines
   // subflow ids, matching the sender side).
   void add_subflow(const net::Route& ack_route);
+
+  // Wire-reference ledger shared with the sender side (see
+  // net::Packet::wire_refs): every ACK this receiver emits increments it.
+  void set_wire_counter(std::uint64_t* c) { wire_counter_ = c; }
 
   // PacketSink: data packets from any subflow.
   void receive(net::Packet& pkt) override;
@@ -87,6 +95,7 @@ class MptcpReceiver : public net::PacketSink, public EventSource {
   EventList& events_;
   std::uint32_t flow_id_;
   std::uint64_t capacity_;
+  std::uint64_t* wire_counter_ = nullptr;
 
   // Data-level reassembly.
   std::uint64_t rcv_nxt_data_ = 0;  // next expected data seq

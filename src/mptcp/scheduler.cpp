@@ -24,12 +24,36 @@ bool DataScheduler::next_data(std::uint64_t& data_seq) {
 
 void DataScheduler::on_data_ack(std::uint64_t data_cum_ack,
                                 std::uint64_t rcv_window) {
+  const std::uint64_t before = data_cum_ack_;
   data_cum_ack_ = std::max(data_cum_ack_, data_cum_ack);
   right_edge_ = std::max(right_edge_, data_cum_ack + rcv_window);
   // (data_cum_ack <= highest-assigned is checked by MptcpConnection, which
   // owns both ends; the scheduler alone may be driven abstractly in tests.)
   MPSIM_CHECK(data_cum_ack_ <= right_edge_,
               "flow-control right edge fell behind the cumulative ACK");
+  // Eager cleanup: queued reinjections the ACK just retired would otherwise
+  // wait for a next_data() pull that may never come (all target subflows
+  // dead, or the connection complete), pinning reinject_pending_ entries.
+  if (data_cum_ack_ != before && !reinject_q_.empty()) purge_acked();
+}
+
+std::uint64_t DataScheduler::purge_acked() {
+  std::uint64_t purged = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < reinject_q_.size(); ++i) {
+    const std::uint64_t seq = reinject_q_[i];
+    if (seq < data_cum_ack_) {
+      reinject_pending_.erase(seq);
+      ++purged;
+      continue;
+    }
+    reinject_q_[kept++] = seq;
+  }
+  // Shrinking resize: never allocates, only trims the compacted tail.
+  // mpsim-analyze: allow(hot-alloc)
+  reinject_q_.resize(kept);
+  purged_total_ += purged;
+  return purged;
 }
 
 void DataScheduler::reinject(const std::vector<std::uint64_t>& data_seqs) {

@@ -43,6 +43,15 @@ class DataScheduler {
   // Already-acked and already-queued sequences are skipped.
   void reinject(const std::vector<std::uint64_t>& data_seqs);
 
+  // Drop every queued reinjection the cumulative ACK has already passed,
+  // releasing its reinject_pending_ entry. Without this, a seq queued for
+  // a subflow that dies (or a connection that completes) before any
+  // next_data() call drains it stays in reinject_pending_ forever — and a
+  // later, genuine reinjection of the same seq is silently refused by the
+  // duplicate filter. Called on every cum-ACK advance and on subflow
+  // reset/drop. Returns the number of entries purged.
+  std::uint64_t purge_acked();
+
   // Wire the owning connection's flight recorder in. The scheduler has no
   // clock of its own, so it borrows the connection's EventList for record
   // timestamps; kReinject records are emitted here (not in the connection)
@@ -62,6 +71,8 @@ class DataScheduler {
   std::uint64_t reinject_backlog() const { return reinject_q_.size(); }
   // Data seqs ever accepted for reinjection (duplicates excluded).
   std::uint64_t reinjected_total() const { return reinjected_total_; }
+  // Stale entries removed by purge_acked() over the connection's life.
+  std::uint64_t purged_total() const { return purged_total_; }
 
   bool app_limited() const { return app_limit_ != 0; }
   // All application data sent and acknowledged.
@@ -77,6 +88,7 @@ class DataScheduler {
   std::deque<std::uint64_t> reinject_q_;
   std::unordered_set<std::uint64_t> reinject_pending_;
   std::uint64_t reinjected_total_ = 0;
+  std::uint64_t purged_total_ = 0;
 
   // Flight recorder wiring (set_trace); trace_ != nullptr implies
   // trace_events_ != nullptr.

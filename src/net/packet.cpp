@@ -36,6 +36,11 @@ void PacketPool::release(Packet& p) {
   MPSIM_CHECK(p.pool_ == this, "packet released to a foreign pool");
   MPSIM_CHECK(!p.in_pool_, "packet double-released to pool");
   MPSIM_CHECK(outstanding_ > 0, "release with no outstanding packets");
+  if (p.wire_refs != nullptr) {
+    MPSIM_CHECK(*p.wire_refs > 0, "wire-reference ledger underflow");
+    --*p.wire_refs;
+    p.wire_refs = nullptr;
+  }
   p.in_pool_ = true;
   --outstanding_;
   ++total_released_;
@@ -78,6 +83,7 @@ void Packet::reset() {
   size_bytes = kDataPacketBytes;
   ts_echo = 0;
   is_retransmit = false;
+  wire_refs = nullptr;
   route_ = nullptr;
   next_hop_ = 0;
   link_next = nullptr;

@@ -113,6 +113,15 @@ class Packet {
   SimTime ts_echo = 0;        // sender timestamp, echoed by the ACK
   bool is_retransmit = false; // suppresses RTT sampling (Karn's rule)
 
+  // Wire-reference ledger hook. Endpoints that want to know when every
+  // packet they put on the wire is gone (delivered, dropped, or released
+  // any other way) point this at a counter and increment it at send time;
+  // PacketPool::release() decrements it on the way back to the pool. A
+  // connection is safe to destroy only when its counter reads zero — the
+  // gate PoissonFlowGenerator's deferred reclamation uses so no in-flight
+  // packet can reference a torn-down flow's sinks or routes.
+  std::uint64_t* wire_refs = nullptr;
+
   // --- container hooks (owned by whichever element holds the packet) ----
   // Intrusive FIFO links for PacketFifo (a Queue's waiting list or a Pipe's
   // in-flight list). A packet sits in at most one such list at a time, so a

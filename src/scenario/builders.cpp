@@ -24,6 +24,7 @@
 #include "cc/semicoupled.hpp"
 #include "cc/uncoupled.hpp"
 #include "core/check.hpp"
+#include "mptcp/path_manager.hpp"
 #include "net/cbr.hpp"
 #include "net/variable_rate_queue.hpp"
 #include "scenario/registry.hpp"
@@ -338,6 +339,38 @@ AlgorithmInstance make_algorithm(const std::string& kind,
 // Traffic models
 // ---------------------------------------------------------------------------
 
+// The [path_manager] section -> the policy knobs of mptcp::PathManager.
+// Shared by every traffic model that supports path management; models that
+// don't simply never read the section and check_all_used() rejects it.
+mptcp::PathManagerConfig parse_path_manager(const Section& s) {
+  mptcp::PathManagerConfig cfg;
+  const std::string strategy = s.get_string("strategy", "threshold");
+  if (strategy == "fullmesh") {
+    cfg.strategy = mptcp::PathStrategy::kFullMesh;
+  } else if (strategy == "ndiffports") {
+    cfg.strategy = mptcp::PathStrategy::kNDiffPorts;
+  } else if (strategy == "threshold") {
+    cfg.strategy = mptcp::PathStrategy::kThreshold;
+  } else {
+    s.fail("unknown path manager strategy '" + strategy +
+           "' (known: fullmesh, ndiffports, threshold)");
+  }
+  cfg.ndiffports = static_cast<std::size_t>(s.get_int(
+      "ndiffports", static_cast<std::int64_t>(cfg.ndiffports)));
+  if (cfg.ndiffports < 1) s.fail("'ndiffports' must be >= 1");
+  cfg.add_threshold_bytes =
+      s.get_bytes("add_threshold", cfg.add_threshold_bytes);
+  cfg.max_subflows = static_cast<std::size_t>(s.get_int(
+      "max_subflows", static_cast<std::int64_t>(cfg.max_subflows)));
+  if (cfg.max_subflows < 1) s.fail("'max_subflows' must be >= 1");
+  cfg.scan_period = s.get_time("scan_period", cfg.scan_period);
+  cfg.reprobe_backoff = s.get_time("reprobe_backoff", cfg.reprobe_backoff);
+  cfg.dead_after_rtos = static_cast<std::uint32_t>(s.get_int(
+      "dead_after_rtos", static_cast<std::int64_t>(cfg.dead_after_rtos)));
+  if (cfg.dead_after_rtos < 1) s.fail("'dead_after_rtos' must be >= 1");
+  return cfg;
+}
+
 // "0", "1", "0+1", ... — '+'-joined path indices for one flow.
 std::vector<int> parse_path_set(const std::string& text, const Section& s) {
   std::vector<int> idxs;
@@ -445,6 +478,14 @@ class PersistentTraffic final : public TrafficModel {
     ccfg.app_limit_pkts = app_limit_pkts_;
     ccfg.subflow.min_rto = min_rto_;
 
+    // With a [path_manager] section, the flow's path set becomes the
+    // manager's candidate list and the manager decides what actually opens
+    // (and when); without one, every listed path opens immediately.
+    mptcp::PathManagerConfig pm_cfg;
+    if (env.path_manager != nullptr) {
+      pm_cfg = parse_path_manager(*env.path_manager);
+    }
+
     const int slots = topo.flow_slots();
     for (std::size_t i = 0; i < flows.size(); ++i) {
       const FlowSpec& fs = flows[i];
@@ -469,9 +510,17 @@ class PersistentTraffic final : public TrafficModel {
       }
       auto conn = std::make_unique<mptcp::MptcpConnection>(
           events, fs.name, *use->cc, ccfg);
-      for (int p : paths) {
-        conn->add_subflow(pairs[static_cast<std::size_t>(p)].first,
-                          pairs[static_cast<std::size_t>(p)].second);
+      if (env.path_manager != nullptr) {
+        auto& pm = conn->attach_path_manager(pm_cfg);
+        for (int p : paths) {
+          pm.add_candidate(pairs[static_cast<std::size_t>(p)].first,
+                           pairs[static_cast<std::size_t>(p)].second);
+        }
+      } else {
+        for (int p : paths) {
+          conn->add_subflow(pairs[static_cast<std::size_t>(p)].first,
+                            pairs[static_cast<std::size_t>(p)].second);
+        }
       }
       conn->start(env.scaled_start(fs.start));
       if (use == &local) owned_algos_.push_back(std::move(local.cc));
@@ -712,6 +761,173 @@ class PoissonTraffic final : public TrafficModel {
   std::vector<std::unique_ptr<const cc::CongestionControl>> owned_algos_;
 };
 
+// Fig. 10's server load balancer generalized into a churn workload: Poisson
+// arrivals of *finite multipath* connections, each with its own PathManager
+// over the two paths of flow slot 0, running against persistent background
+// load — `tcp_link1`/`tcp_link2` single-path TCPs pinned to each path and
+// `mp_count` long-lived multipath connections under the run's [algorithm].
+// Completed arrivals are reclaimed (destroyed, pool/arena state returned)
+// once their wire-reference ledger drains, so the connection population
+// tracks the live flow count over arbitrarily long runs.
+class ChurnTraffic final : public TrafficModel {
+ public:
+  explicit ChurnTraffic(const Section& s) {
+    pcfg_.light_rate_per_sec = s.get_number("light_rate_per_sec", 20.0);
+    pcfg_.heavy_rate_per_sec =
+        s.get_number("heavy_rate_per_sec", pcfg_.light_rate_per_sec);
+    phase_ = s.get_time("phase", from_sec(10));
+    pcfg_.pareto_shape = s.get_number("pareto_shape", 2.0);
+    pcfg_.mean_flow_bytes = s.get_number("mean_flow_bytes", 200e3);
+    tcp_link1_ = static_cast<int>(s.get_int("tcp_link1", 1));
+    tcp_link2_ = static_cast<int>(s.get_int("tcp_link2", 1));
+    mp_count_ = static_cast<int>(s.get_int("mp_count", 2));
+    if (tcp_link1_ < 0 || tcp_link2_ < 0 || mp_count_ < 0) {
+      s.fail("background flow counts must be >= 0");
+    }
+    min_rto_ = s.get_time("min_rto", tcp::SubflowConfig{}.min_rto);
+    recv_buffer_pkts_ = static_cast<std::uint64_t>(s.get_int(
+        "recv_buffer_pkts",
+        static_cast<std::int64_t>(mptcp::ConnectionConfig{}.recv_buffer_pkts)));
+    section_ = &s;
+  }
+
+  void build(EventList& events, BuiltTopology& topo,
+             const AlgorithmInstance& algo, Rng& rng,
+             const BuildEnv& env) override {
+    pcfg_.phase_duration = env.scaled(phase_);
+    pcfg_.seed = seed_;
+    auto pairs = topo.flow_paths(0, 2, rng);
+    if (pairs.size() < 2) {
+      section_->fail("churn traffic needs a two-path flow slot");
+    }
+    mptcp::PathManagerConfig pm_cfg;
+    if (env.path_manager != nullptr) {
+      pm_cfg = parse_path_manager(*env.path_manager);
+    }
+    if (algo.single_path) pm_cfg.max_subflows = 1;
+
+    mptcp::ConnectionConfig ccfg;
+    ccfg.subflow.min_rto = min_rto_;
+    ccfg.recv_buffer_pkts = recv_buffer_pkts_;
+
+    const cc::CongestionControl* cc = algo.cc.get();
+    gen_ = std::make_unique<traffic::PoissonFlowGenerator>(
+        events, "churn", pcfg_,
+        [&events, pairs, cc, ccfg, pm_cfg](const std::string& name,
+                                           std::uint64_t pkts) {
+          mptcp::ConnectionConfig cfg = ccfg;
+          cfg.app_limit_pkts = pkts;
+          auto conn = std::make_unique<mptcp::MptcpConnection>(events, name,
+                                                               *cc, cfg);
+          auto& pm = conn->attach_path_manager(pm_cfg);
+          pm.add_candidate(pairs[0].first, pairs[0].second);
+          pm.add_candidate(pairs[1].first, pairs[1].second);
+          conn->start(events.now());
+          return conn;
+        });
+    // PathManager counters die with their reclaimed flow; bank them here so
+    // record_metrics can report run totals.
+    gen_->on_reclaim = [this](mptcp::MptcpConnection& c) {
+      bank_pm(c);
+    };
+
+    for (int i = 0; i < tcp_link1_; ++i) {
+      persistent_.push_back(mptcp::make_single_path_tcp(
+          events, "tcp1_" + std::to_string(i), pairs[0].first,
+          pairs[0].second, ccfg));
+    }
+    for (int i = 0; i < tcp_link2_; ++i) {
+      persistent_.push_back(mptcp::make_single_path_tcp(
+          events, "tcp2_" + std::to_string(i), pairs[1].first,
+          pairs[1].second, ccfg));
+    }
+    for (int i = 0; i < mp_count_; ++i) {
+      auto conn = std::make_unique<mptcp::MptcpConnection>(
+          events, "mp" + std::to_string(i), *algo.cc, ccfg);
+      auto& pm = conn->attach_path_manager(pm_cfg);
+      pm.add_candidate(pairs[0].first, pairs[0].second);
+      pm.add_candidate(pairs[1].first, pairs[1].second);
+      persistent_.push_back(std::move(conn));
+    }
+
+    // Generator at 0; background flows staggered (3, 5, 7, ... ms) only to
+    // de-synchronize their slow starts, like the other models do.
+    gen_->start(0);
+    for (std::size_t i = 0; i < persistent_.size(); ++i) {
+      persistent_[i]->start(from_ms(3 + 2 * static_cast<double>(i)));
+    }
+  }
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+
+  std::vector<const mptcp::MptcpConnection*> connections() const override {
+    std::vector<const mptcp::MptcpConnection*> out;
+    for (const auto& c : persistent_) out.push_back(c.get());
+    return out;
+  }
+
+  std::vector<mptcp::MptcpConnection*> mutable_connections() override {
+    std::vector<mptcp::MptcpConnection*> out;
+    for (const auto& c : persistent_) out.push_back(c.get());
+    return out;
+  }
+
+  void record_metrics(runner::RunContext& ctx) const override {
+    if (gen_ == nullptr) return;
+    // Final sweep: anything whose ledger drained by end of run is counted
+    // as reclaimed, not as still-held.
+    gen_->reclaim_completed();
+    ctx.record("churn_flows_started",
+               static_cast<double>(gen_->flows_started()));
+    ctx.record("churn_flows_completed",
+               static_cast<double>(gen_->flows_completed()));
+    ctx.record("churn_flows_reclaimed",
+               static_cast<double>(gen_->flows_reclaimed()));
+    ctx.record("churn_flows_held", static_cast<double>(gen_->flows_held()));
+    // Banked counters from reclaimed flows + live counters from everything
+    // still alive (held arrivals and the persistent multipath set).
+    std::uint64_t opened = pm_opened_;
+    std::uint64_t dropped = pm_dropped_;
+    std::uint64_t reprobes = pm_reprobes_;
+    auto add = [&](const mptcp::MptcpConnection& c) {
+      if (const auto* pm = c.path_manager()) {
+        opened += pm->subflows_opened();
+        dropped += pm->subflows_dropped();
+        reprobes += pm->reprobes();
+      }
+    };
+    for (const auto& c : gen_->held()) add(*c);
+    for (const auto& c : persistent_) add(*c);
+    ctx.record("churn_subflows_added", static_cast<double>(opened));
+    ctx.record("churn_subflows_dropped", static_cast<double>(dropped));
+    ctx.record("churn_subflow_reprobes", static_cast<double>(reprobes));
+  }
+
+ private:
+  void bank_pm(const mptcp::MptcpConnection& c) {
+    if (const auto* pm = c.path_manager()) {
+      pm_opened_ += pm->subflows_opened();
+      pm_dropped_ += pm->subflows_dropped();
+      pm_reprobes_ += pm->reprobes();
+    }
+  }
+
+  traffic::PoissonConfig pcfg_;
+  SimTime phase_ = from_sec(10);
+  int tcp_link1_ = 1;
+  int tcp_link2_ = 1;
+  int mp_count_ = 2;
+  SimTime min_rto_ = 0;
+  std::uint64_t recv_buffer_pkts_ = 0;
+  std::uint64_t seed_ = 1;
+  const Section* section_;
+  std::unique_ptr<traffic::PoissonFlowGenerator> gen_;
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> persistent_;
+  std::uint64_t pm_opened_ = 0;
+  std::uint64_t pm_dropped_ = 0;
+  std::uint64_t pm_reprobes_ = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Registrations
 // ---------------------------------------------------------------------------
@@ -878,6 +1094,12 @@ Registry make_builtin_registry() {
                 [](const Section& s) {
                   return std::make_unique<PoissonTraffic>(s);
                 });
+  r.add_traffic("churn",
+                "Fig. 10 generalized: Poisson multipath arrivals with "
+                "path management, reclaimed on completion",
+                [](const Section& s) {
+                  return std::make_unique<ChurnTraffic>(s);
+                });
 
   return r;
 }
@@ -889,11 +1111,14 @@ const Registry& builtin_registry() {
   return registry;
 }
 
-// The engine needs to push the run seed into a Poisson model without
-// widening the TrafficModel interface for every kind.
+// The engine needs to push the run seed into the models with an arrival
+// process without widening the TrafficModel interface for every kind.
 void seed_poisson_model(TrafficModel& model, std::uint64_t seed) {
   if (auto* p = dynamic_cast<PoissonTraffic*>(&model)) {
     p->set_seed(seed);
+  }
+  if (auto* c = dynamic_cast<ChurnTraffic*>(&model)) {
+    c->set_seed(seed);
   }
 }
 

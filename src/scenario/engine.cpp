@@ -341,6 +341,10 @@ void execute_run(const ResolvedRun& run, double time_scale,
   BuildEnv env;
   env.time_scale = time_scale;
   env.scale_starts = run_sec.get_bool("scale_starts", false);
+  // Traffic models that support path management consume this section; on
+  // models that ignore it, its keys stay unread and check_all_used() below
+  // rejects the spec rather than silently skipping path management.
+  env.path_manager = spec.find_section("path_manager");
   const SimTime warmup = env.scaled(run_sec.get_time("warmup"));
   const SimTime measure = env.scaled(run_sec.get_time("measure"));
   run_sec.find("seeds");  // consumed by expand()

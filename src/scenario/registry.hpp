@@ -53,6 +53,13 @@ struct BuildEnv {
   SimTime scaled_start(SimTime t) const {
     return scale_starts ? scaled(t) : t;
   }
+
+  // The spec's [path_manager] section, or nullptr when absent. Traffic
+  // models that support path management parse it into a PathManagerConfig
+  // and attach a PathManager per connection; models that ignore it leave
+  // its keys unconsumed, which check_all_used() turns into a validation
+  // error (the user asked for path management a model cannot provide).
+  const Section* path_manager = nullptr;
 };
 
 class BuiltTopology {

@@ -33,6 +33,37 @@ Subflow::Subflow(EventList& events, std::string name, SubflowHost& host,
   }
 }
 
+Subflow::~Subflow() {
+  // Remove any pending RTO wake-up before the object goes away, then hand
+  // the hot row back for reuse by the next subflow built on this
+  // simulation. h_ dangles afterwards; nothing below touches it.
+  events_.cancel(*this);
+  SimArena::of(events_).release_subflow(hot_id_);
+}
+
+void Subflow::deactivate() {
+  if (h_.active == 0) return;
+  cancel_rto();
+  dupacks_ = 0;
+  h_.active = 0;
+}
+
+void Subflow::reactivate() {
+  MPSIM_CHECK(h_.active == 0, "reactivating a subflow that is still active");
+  h_.active = 1;
+  h_.cwnd = cfg_.init_cwnd;
+  h_.ssthresh = cfg_.init_ssthresh;
+  h_.in_recovery = 0;
+  dupacks_ = 0;
+  backoff_ = 0;
+  recover_ = high_water_;  // stale dupacks must not trigger a loss reaction
+  // Go-back-N over anything assigned before the drop: the data seqs were
+  // reinjected on siblings at drop time, but the *subflow* sequence space
+  // must still be repaired for the cumulative ACK to advance.
+  h_.snd_nxt = h_.snd_una;
+  try_send();
+}
+
 void Subflow::set_cwnd(double w) {
   h_.cwnd = w;
   clamp_cwnd();
@@ -43,7 +74,7 @@ void Subflow::clamp_cwnd() {
 }
 
 void Subflow::try_send() {
-  if (route_ == nullptr) return;
+  if (route_ == nullptr || h_.active == 0) return;
   // Limited Transmit allowance: up to two extra segments while dupacks
   // signal departures but fast retransmit has not yet triggered.
   const std::uint64_t lt_bonus =
@@ -86,6 +117,10 @@ void Subflow::send_packet(std::uint64_t subflow_seq, bool is_retransmit) {
   pkt.size_bytes = net::kDataPacketBytes;
   pkt.ts_echo = events_.now();
   pkt.is_retransmit = is_retransmit;
+  if (wire_counter_ != nullptr) {
+    ++*wire_counter_;
+    pkt.wire_refs = wire_counter_;
+  }
   ++packets_sent_;
   if (is_retransmit) ++retransmits_;
   pkt.send_on(*route_);
@@ -99,6 +134,27 @@ void Subflow::receive(net::Packet& pkt) {
 }
 
 void Subflow::handle_ack(net::Packet& ack) {
+  if (h_.active == 0) {
+    // Late ACK for a packet that was on the wire when this subflow was
+    // dropped. Its data-level fields are still authoritative and its
+    // subflow cumulative ACK still retires scoreboard state, but the
+    // congestion machinery stays frozen: no RTT sample, no window growth
+    // (so the coupled controller is never consulted for an inactive row),
+    // no dupack/recovery logic, no timer, no transmission.
+    host_.on_data_ack(ack.data_cum_ack, ack.rcv_window);
+    const std::uint64_t cum = ack.subflow_cum_ack;
+    if (cum > h_.snd_una) {
+      h_.snd_una = cum;
+      h_.snd_nxt = std::max(h_.snd_nxt, h_.snd_una);
+      while (scoreboard_base_ < h_.snd_una) {
+        scoreboard_.pop_front();
+        ++scoreboard_base_;
+      }
+    }
+    check_invariants();
+    host_.on_subflow_progress(subflow_id_);
+    return;
+  }
   // Karn's rule: only time unambiguous (non-retransmitted) segments.
   if (!ack.is_retransmit) {
     rtt_.add_sample(events_.now() - ack.ts_echo);
@@ -277,6 +333,7 @@ void Subflow::on_event() {
 }
 
 void Subflow::force_timeout() {
+  if (h_.active == 0) return;  // a dropped subflow has no timer to fire
   rto_armed_ = false;
   handle_timeout();
 }

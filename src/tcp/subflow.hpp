@@ -89,9 +89,32 @@ class Subflow : public net::PacketSink, public EventSource {
           std::uint32_t flow_id, std::uint32_t subflow_id,
           const SubflowConfig& cfg);
 
+  // Teardown cancels any pending retransmission wake-up and returns the
+  // arena row to the free list, so short-lived connections (Poisson churn)
+  // leave no residue in the event scheduler or the SoA columns.
+  ~Subflow() override;
+
   // The forward route this subflow's data packets travel (must end at the
   // connection's receiver). ACKs arrive back at this object.
   void set_route(const net::Route& fwd) { route_ = &fwd; }
+
+  // Wire-reference ledger (net::Packet::wire_refs): every packet this
+  // subflow emits increments `*c`; the pool decrements it when the packet
+  // dies anywhere in the network. Set by the owning connection.
+  void set_wire_counter(std::uint64_t* c) { wire_counter_ = c; }
+
+  // --- lifecycle (driven by mptcp::PathManager via the connection) ------
+  // An inactive subflow sends nothing, arms no timer, and is excluded from
+  // the coupled controller's eq. (1) sweep; late ACKs for packets already
+  // on the wire still advance its cumulative-ACK state. Deactivation is
+  // how a subflow is "dropped" — rows are positional (the receiver demuxes
+  // by subflow id), so subflows are never erased from the connection.
+  bool active() const { return h_.active != 0; }
+  void deactivate();
+  // Re-probe a dropped path: restart as a fresh slow-start sender (initial
+  // window, cleared backoff/recovery state, go-back-N over anything still
+  // unacknowledged at subflow level).
+  void reactivate();
 
   // Transmit as much as the congestion window / available data allow.
   void try_send();
@@ -164,6 +187,7 @@ class Subflow : public net::PacketSink, public EventSource {
   EventList& events_;
   SubflowHost& host_;
   const net::Route* route_ = nullptr;
+  std::uint64_t* wire_counter_ = nullptr;
   std::uint32_t flow_id_;
   std::uint32_t subflow_id_;
   SubflowConfig cfg_;

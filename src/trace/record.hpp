@@ -21,6 +21,12 @@
 //   kFault      a=fault::Action enum, b=aux (duration ns, packets dropped,
 //               or subflow index per action), x=value (rate bps or drop
 //               probability per action)
+//   kSubflowAdd  a=active subflows after the add, b=total subflows ever
+//                opened on the connection (a brand-new join grows b; a
+//                re-probe repeats an earlier sub id with b unchanged)
+//   kSubflowDrop a=drop reason (0 = administrative/policy, 1 = declared
+//                dead after repeated RTOs without progress), b=data seqs
+//                handed to the scheduler for sibling reinjection
 #pragma once
 
 #include <cstdint>
@@ -41,8 +47,10 @@ enum class RecordType : std::uint8_t {
   kReinject,   // data seqs queued for reinjection on sibling subflows
   kGoodput,    // periodic delivered-goodput sample (bench harness)
   kFault,      // fault-injection action applied to a target
+  kSubflowAdd,   // a subflow joined (or re-joined) a live connection
+  kSubflowDrop,  // a subflow was dropped from a live connection
 };
-inline constexpr int kRecordTypeCount = 11;
+inline constexpr int kRecordTypeCount = 13;
 
 // Sender phases, as the paper's Fig. 5-style cwnd plots label them.
 enum class TcpPhase : std::uint8_t {
@@ -211,6 +219,38 @@ inline Record fault_event(SimTime t, std::uint16_t obj, std::uint32_t action,
   r.a = action;
   r.b = aux;
   r.x = value;
+  return r;
+}
+
+inline Record subflow_add(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                          std::uint32_t sub, std::uint64_t active,
+                          std::uint64_t total) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kSubflowAdd;
+  r.obj = obj;
+  r.flow = flow;
+  r.sub = sub;
+  r.a = active;
+  r.b = total;
+  return r;
+}
+
+// Drop reasons for kSubflowDrop's `a` payload.
+inline constexpr std::uint64_t kDropAdmin = 0;
+inline constexpr std::uint64_t kDropRtoDead = 1;
+
+inline Record subflow_drop(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                           std::uint32_t sub, std::uint64_t reason,
+                           std::uint64_t reinjected) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kSubflowDrop;
+  r.obj = obj;
+  r.flow = flow;
+  r.sub = sub;
+  r.a = reason;
+  r.b = reinjected;
   return r;
 }
 

@@ -46,6 +46,8 @@ const char* record_type_name(RecordType t) {
     case RecordType::kReinject: return "reinject";
     case RecordType::kGoodput: return "goodput";
     case RecordType::kFault: return "fault";
+    case RecordType::kSubflowAdd: return "subflow_add";
+    case RecordType::kSubflowDrop: return "subflow_drop";
   }
   return "unknown";
 }

@@ -27,13 +27,37 @@ std::uint64_t PoissonFlowGenerator::draw_size_pkts() {
   const double alpha = cfg_.pareto_shape;
   const double xm = cfg_.mean_flow_bytes * (alpha - 1.0) / alpha;
   const double bytes = rng_.pareto(alpha, xm);
-  const auto pkts = static_cast<std::uint64_t>(
-      std::ceil(bytes / net::kDataPacketBytes));
-  return std::max<std::uint64_t>(1, pkts);
+  // size_to_pkts owns the >= 1 pkt clamp; see its comment for why a
+  // 0-packet flow would never complete.
+  return size_to_pkts(bytes);
+}
+
+std::size_t PoissonFlowGenerator::reclaim_completed() {
+  std::size_t reclaimed = 0;
+  auto keep = flows_.begin();
+  for (auto& f : flows_) {
+    if (f->reclaimable()) {
+      if (on_reclaim) on_reclaim(*f);
+      // Destruction cancels the flow's pending events and returns its
+      // arena rows; the wire-refs gate guarantees no packet still in a
+      // queue or pipe can call back into it.
+      f.reset();
+      ++reclaimed;
+    } else {
+      *keep++ = std::move(f);
+    }
+  }
+  flows_.erase(keep, flows_.end());
+  flows_reclaimed_ += reclaimed;
+  return reclaimed;
 }
 
 void PoissonFlowGenerator::on_event() {
   const SimTime now = events_.now();
+
+  // Tear down what finished before building more: reclamation at arrival
+  // granularity keeps held connections proportional to the live count.
+  reclaim_completed();
 
   // Launch one flow.
   const std::uint64_t size = draw_size_pkts();

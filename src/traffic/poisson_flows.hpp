@@ -2,12 +2,17 @@
 // arrivals with Pareto-distributed sizes (mean 200 kB in the paper), and an
 // arrival rate that alternates between a light and a heavy phase.
 //
-// Each arrival creates a finite single-path TCP via a caller-supplied
-// factory (so the generator is topology-agnostic); completed flows are
-// retained until simulation end — packets in flight may still reference
-// their sinks — and flow completion times are recorded.
+// Each arrival creates a finite connection via a caller-supplied factory
+// (so the generator is topology-agnostic — single-path TCP or multipath
+// with a PathManager, the factory decides); flow completion times are
+// recorded. Completed flows are reclaimed (destroyed, their pool/arena
+// state returned) once the wire-reference ledger shows no packet in
+// flight references them — deferred teardown, so memory is bounded by the
+// *live* flow count at churn scale rather than the all-time total.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -29,6 +34,18 @@ struct PoissonConfig {
   std::uint64_t seed = 1;
 };
 
+// A flow size in bytes -> whole packets, clamped to >= 1: a Pareto draw
+// can be smaller than one MSS (degenerate configs — shape near 1 or a tiny
+// mean — push xm toward 0), and an unclamped 0 would build a connection
+// with app_limit_pkts == 0, which means *unlimited*: it never sends its
+// (empty) transfer to completion and active_flows() never drains. A free
+// function so the regression test can probe the boundary directly.
+inline std::uint64_t size_to_pkts(double bytes) {
+  const auto pkts =
+      static_cast<std::uint64_t>(std::ceil(bytes / net::kDataPacketBytes));
+  return std::max<std::uint64_t>(1, pkts);
+}
+
 class PoissonFlowGenerator : public EventSource {
  public:
   // `factory(name, size_pkts)` builds a started connection carrying
@@ -42,11 +59,28 @@ class PoissonFlowGenerator : public EventSource {
   void start(SimTime at);
   void on_event() override;
 
+  // Destroy every completed flow whose wire-reference ledger reads zero
+  // (MptcpConnection::reclaimable()): no packet anywhere in the network
+  // still points at its sinks, so teardown cannot leave a dangling
+  // reference. Runs automatically at each arrival; public so tests and
+  // end-of-run sweeps can force a final pass. Returns flows destroyed.
+  std::size_t reclaim_completed();
+
+  // Called on each flow just before reclamation destroys it, so owners can
+  // harvest per-flow state (e.g. PathManager counters) that dies with it.
+  std::function<void(mptcp::MptcpConnection&)> on_reclaim;
+
   std::uint64_t flows_started() const { return flows_started_; }
   std::uint64_t flows_completed() const { return flows_completed_; }
+  std::uint64_t flows_reclaimed() const { return flows_reclaimed_; }
   const std::vector<SimTime>& completion_times() const { return fct_; }
   std::uint64_t active_flows() const {
     return flows_started_ - flows_completed_;
+  }
+  // Connections currently owned (live + completed-but-not-yet-reclaimable).
+  std::size_t flows_held() const { return flows_.size(); }
+  const std::vector<std::unique_ptr<mptcp::MptcpConnection>>& held() const {
+    return flows_;
   }
 
  private:
@@ -59,6 +93,7 @@ class PoissonFlowGenerator : public EventSource {
   SimTime started_at_ = 0;
   std::uint64_t flows_started_ = 0;
   std::uint64_t flows_completed_ = 0;
+  std::uint64_t flows_reclaimed_ = 0;
   std::vector<SimTime> fct_;
   std::vector<std::unique_ptr<mptcp::MptcpConnection>> flows_;
 };
