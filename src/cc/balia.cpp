@@ -1,0 +1,66 @@
+#include "cc/balia.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace mpsim::cc {
+
+namespace {
+
+// alpha_r = max over active paths of x_p, divided by x_r. Also returns the
+// rate sum the increase denominates with.
+struct Rates {
+  double x_r = 0.0;
+  double sum = 0.0;
+  double max = 0.0;
+};
+
+Rates sweep_rates(const ConnectionView& c, std::size_t r) {
+  Rates out;
+  for (std::size_t s = 0; s < c.num_subflows(); ++s) {
+    if (!c.subflow_active(s)) continue;
+    const double w = c.cwnd_pkts(s);
+    const double rtt = c.srtt_sec(s);
+    MPSIM_CHECK(w > 0.0 && rtt > 0.0,
+                "BALIA needs positive windows and RTTs");
+    const double x = w / rtt;
+    out.sum += x;
+    out.max = std::max(out.max, x);
+    if (s == r) out.x_r = x;
+  }
+  MPSIM_CHECK(out.x_r > 0.0, "BALIA consulted for an inactive subflow");
+  return out;
+}
+
+}  // namespace
+
+double Balia::increase_per_ack(const ConnectionView& c, std::size_t r) const {
+  const Rates rates = sweep_rates(c, r);
+  const double alpha = rates.max / rates.x_r;  // >= 1 by construction
+  const double rtt_r = c.srtt_sec(r);
+  const double inc = (rates.x_r / (rtt_r * rates.sum * rates.sum)) *
+                     ((1.0 + alpha) / 2.0) * ((4.0 + alpha) / 5.0);
+  // The design theorem of arXiv 1812.03210 §BALIA: (1+a)(4+a)/(10a^2) <= 1
+  // for a >= 1, so the increase never exceeds single-path Reno's 1/w_r.
+  MPSIM_CHECK(alpha >= 1.0 - 1e-12, "BALIA alpha must be >= 1");
+  MPSIM_CHECK(inc > 0.0 && inc <= 1.0 / c.cwnd_pkts(r) + 1e-12,
+              "BALIA increase outside (0, 1/w_r]");
+  return inc;
+}
+
+double Balia::window_after_loss(const ConnectionView& c, std::size_t r) const {
+  const Rates rates = sweep_rates(c, r);
+  const double alpha = rates.max / rates.x_r;
+  const double w_r = c.cwnd_pkts(r);
+  // Decrease factor min(alpha, 1.5)/2 in [1/2, 3/4]: the slower a path is
+  // relative to the best one, the harder it backs off.
+  return w_r * (1.0 - std::min(alpha, 1.5) / 2.0);
+}
+
+const Balia& balia() {
+  static const Balia instance;
+  return instance;
+}
+
+}  // namespace mpsim::cc

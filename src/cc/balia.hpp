@@ -1,0 +1,35 @@
+// BALIA — the Balanced Linked Adaptation algorithm (Peng, Walid, Hares,
+// Low; RFC-draft and the kernel study arXiv 1812.03210). With per-path
+// rate x_p = w_p / rtt_p and imbalance factor
+//
+//   alpha_r = max_p(x_p) / x_r            (>= 1; 1 on the fastest path)
+//
+// the per-ACK increase and per-loss decrease on path r are
+//
+//   w_r += ( x_r / (rtt_r * (sum_p x_p)^2) )
+//          * (1 + alpha_r)/2 * (4 + alpha_r)/5
+//   w_r -= w_r * min(alpha_r, 1.5) / 2    on loss
+//
+// The design theorem: the increase is at most 1/w_r for every alpha >= 1
+// (TCP-friendliness), the decrease is between w/2 and 3w/4, and the pair
+// balances responsiveness against window oscillation — the deficiency of
+// LIA/OLIA the authors set out to fix. With one path, alpha = 1 and both
+// rules reduce exactly to Reno's 1/w and w/2.
+#pragma once
+
+#include "cc/congestion_control.hpp"
+
+namespace mpsim::cc {
+
+class Balia : public CongestionControl {
+ public:
+  double increase_per_ack(const ConnectionView& c,
+                          std::size_t r) const override;
+  double window_after_loss(const ConnectionView& c,
+                           std::size_t r) const override;
+  std::string name() const override { return "BALIA"; }
+};
+
+const Balia& balia();
+
+}  // namespace mpsim::cc

@@ -7,14 +7,38 @@
 // algorithm boxes (REGULAR/uncoupled, EWTCP, COUPLED, SEMICOUPLED, MPTCP)
 // differ only in these two rules.
 //
-// Algorithms are stateless and const; a single instance can serve any number
-// of connections simultaneously.
+// The interface is dual-mode. Window-based algorithms (the paper's five,
+// OLIA, BALIA) use only the two rules above. Rate-based algorithms
+// (cc/rate/, e.g. Coupled BBR) additionally consume per-ACK delivery-rate
+// samples and publish a pacing rate + window gain; their per-subflow state
+// machine lives in the arena's RateHot rows (reached via the view), so the
+// algorithm object itself stays stateless and const — a single instance can
+// serve any number of connections simultaneously in either mode.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
+namespace mpsim {
+struct RateHot;  // core/arena.hpp; implementations include it for the layout
+}  // namespace mpsim
+
 namespace mpsim::cc {
+
+// One delivery-rate measurement, produced by tcp::DeliveryRateEstimator on
+// a cumulative-ACK advance and fed to rate-based controllers. Everything is
+// in packets and double seconds — this struct crosses the cc boundary, so
+// it carries no simulator-clock types.
+struct DeliveryRateSample {
+  double delivery_rate = 0.0;  // pkts/sec over the sampled interval
+  double rtt_sec = 0.0;        // RTT of the newest packet in the sample
+  double now_sec = 0.0;        // simulation clock at sampling
+  std::uint64_t delivered_pkts = 0;  // monotone cumulative-delivery counter
+  std::uint64_t acked_pkts = 0;      // packets this ACK newly delivered
+  bool app_limited = false;    // interval not fully utilised by the app
+  bool round_start = false;    // first sample of a new delivery round trip
+};
 
 // The slice of connection state congestion control may read.
 class ConnectionView {
@@ -30,6 +54,21 @@ class ConnectionView {
   // frozen window must not dilute the increase applied to live ones.
   // Defaults to true so fixed-subflow-set views need not override it.
   virtual bool subflow_active(std::size_t /*r*/) const { return true; }
+  // Packets in flight on subflow r. Rate-based controllers compare this to
+  // the BDP (e.g. BBR's DRAIN exit); the default means "window fully used",
+  // which is what fixed-vector test views imply.
+  virtual double inflight_pkts(std::size_t r) const { return cwnd_pkts(r); }
+  // Subflow r's mutable rate-control row, or nullptr when the connection
+  // carries no rate-based state. Only rate-based controllers dereference
+  // it; coupled ones sweep siblings' rows for bandwidth shares.
+  virtual RateHot* rate_state(std::size_t /*r*/) const { return nullptr; }
+  // OLIA's inter-loss interval proxy l_r: max(pkts acked since the last
+  // loss event on r, pkts acked between its last two losses), >= 1. The
+  // default — the current window — matches the steady-state expectation
+  // (one window per RTT between losses) so plain test views stay valid.
+  virtual double loss_interval_pkts(std::size_t r) const {
+    return cwnd_pkts(r);
+  }
 };
 
 class CongestionControl {
@@ -47,6 +86,40 @@ class CongestionControl {
                                    std::size_t r) const = 0;
 
   virtual std::string name() const = 0;
+
+  // --- optional rate-based surface ---------------------------------------
+  // A rate-based algorithm returns true here; the connection then allocates
+  // a RateHot row per subflow, runs a DeliveryRateEstimator on every ACK,
+  // paces launches at the published rate, and suppresses the subflow's own
+  // AIMD growth (the controller owns the window via target_cwnd_pkts).
+
+  virtual bool rate_based() const { return false; }
+
+  // Consume one delivery-rate sample for subflow r. Mutates r's RateHot row
+  // (and may read siblings' rows for coupling); must leave pacing_rate > 0.
+  virtual void on_ack_sample(const ConnectionView& /*c*/, std::size_t /*r*/,
+                             const DeliveryRateSample& /*s*/) const {}
+
+  // The pacing rate (pkts/sec) the subflow's pacer should space launches
+  // at. 0 disables pacing (the window-based default).
+  virtual double pacing_rate(const ConnectionView& /*c*/,
+                             std::size_t /*r*/) const {
+    return 0.0;
+  }
+
+  // Gain applied to the estimated BDP when deriving the congestion window.
+  virtual double cwnd_gain(const ConnectionView& /*c*/,
+                           std::size_t /*r*/) const {
+    return 2.0;
+  }
+
+  // Window target (packets) the connection applies after on_ack_sample.
+  // The default keeps the current window (window-based algorithms never
+  // reach this path).
+  virtual double target_cwnd_pkts(const ConnectionView& c,
+                                  std::size_t r) const {
+    return c.cwnd_pkts(r);
+  }
 };
 
 // Total window across all *active* subflows, in packets. Checks (throwing

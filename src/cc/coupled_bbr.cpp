@@ -1,0 +1,193 @@
+#include "cc/coupled_bbr.hpp"
+
+#include <algorithm>
+
+#include "core/arena.hpp"
+#include "core/check.hpp"
+
+namespace mpsim::cc {
+
+namespace {
+
+// BBR mode encoding for RateHot::mode.
+constexpr std::uint32_t kStartup = 0;
+constexpr std::uint32_t kDrain = 1;
+constexpr std::uint32_t kProbeBw = 2;
+
+constexpr double kHighGain = 2.885;  // 2/ln 2, BBR's startup gain
+constexpr double kProbeGains[8] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr double kMinRttWindowSec = 10.0;
+constexpr int kFullBwRounds = 3;
+
+double max_filter_bw(const RateHot& h) {
+  return std::max({h.bw_filter[0], h.bw_filter[1], h.bw_filter[2]});
+}
+
+// Sum of bottleneck-bandwidth estimates across the connection's active
+// rate-mode subflows, for the coupled probe scaling.
+double total_btl_bw(const ConnectionView& c) {
+  double sum = 0.0;
+  for (std::size_t s = 0; s < c.num_subflows(); ++s) {
+    if (!c.subflow_active(s)) continue;
+    if (const RateHot* h = c.rate_state(s)) sum += h->btl_bw;
+  }
+  return sum;
+}
+
+double bdp_pkts(const RateHot& h) { return h.btl_bw * h.min_rtt_sec; }
+
+}  // namespace
+
+double CoupledBbr::increase_per_ack(const ConnectionView&, std::size_t) const {
+  return 0.0;  // the window is rate-driven, not ACK-clocked
+}
+
+double CoupledBbr::window_after_loss(const ConnectionView& c,
+                                     std::size_t r) const {
+  // Loss is not a primary congestion signal for BBR; keep the model window.
+  // During STARTUP, though, it is decisive: this sender has no SACK, so a
+  // startup overshoot loses the tail of the window and repairs over RTO
+  // cycles that starve the sampler — the bandwidth plateau that normally
+  // ends STARTUP may never be observed. Treat the first loss as "pipe
+  // full" and move to DRAIN (the BBRv2-style startup exit).
+  RateHot* h = c.rate_state(r);
+  if (h != nullptr && h->mode == kStartup && h->btl_bw > 0.0) {
+    h->full_bw = h->btl_bw;
+    h->mode = kDrain;
+    // Republish the pacer immediately: the repair that follows is all
+    // retransmissions, whose ACKs are Karn-ambiguous and produce no
+    // samples — waiting for on_ack_sample to slow the pacer would keep
+    // flooding at the startup gain for the whole repair.
+    h->pacing_gain = 1.0 / kHighGain;
+    h->cwnd_gain = kHighGain;
+    h->pacing_rate = h->pacing_gain * h->btl_bw;
+  }
+  return c.cwnd_pkts(r);
+}
+
+void CoupledBbr::on_ack_sample(const ConnectionView& c, std::size_t r,
+                               const DeliveryRateSample& s) const {
+  RateHot* hp = c.rate_state(r);
+  MPSIM_CHECK(hp != nullptr, "CoupledBBR needs a RateHot row per subflow");
+  RateHot& h = *hp;
+  MPSIM_CHECK(s.delivered_pkts >= h.delivered_pkts,
+              "delivery samples must carry a monotone delivered counter");
+  h.delivered_pkts = s.delivered_pkts;
+
+  // min_rtt: windowed min, refreshed when the window expires so the
+  // estimate tracks route changes instead of the all-time best.
+  if (h.min_rtt_sec == 0.0 || s.rtt_sec < h.min_rtt_sec ||
+      s.now_sec - h.min_rtt_at_sec > kMinRttWindowSec) {
+    h.min_rtt_sec = s.rtt_sec;
+    h.min_rtt_at_sec = s.now_sec;
+  }
+
+  // btl_bw: max filter over the last 3 rounds. App-limited samples only
+  // count when they raise the estimate — they understate the path.
+  if (s.round_start) {
+    h.bw_filter[2] = h.bw_filter[1];
+    h.bw_filter[1] = h.bw_filter[0];
+    h.bw_filter[0] = 0.0;
+  }
+  if (!s.app_limited || s.delivery_rate > h.btl_bw) {
+    h.bw_filter[0] = std::max(h.bw_filter[0], s.delivery_rate);
+  }
+  h.btl_bw = max_filter_bw(h);
+
+  switch (h.mode) {
+    case kStartup:
+      if (s.round_start) {
+        if (h.btl_bw >= h.full_bw * 1.25) {
+          h.full_bw = h.btl_bw;
+          h.full_bw_count = 0;
+        } else if (++h.full_bw_count >=
+                   static_cast<std::uint32_t>(kFullBwRounds)) {
+          h.mode = kDrain;  // pipe full: bw stopped growing for 3 rounds
+        }
+      }
+      break;
+    case kDrain:
+      if (c.inflight_pkts(r) <= bdp_pkts(h)) {
+        h.mode = kProbeBw;
+        h.cycle_index = 0;
+        h.cycle_start_sec = s.now_sec;
+      }
+      break;
+    case kProbeBw:
+      if (s.now_sec - h.cycle_start_sec > h.min_rtt_sec) {
+        h.cycle_index = (h.cycle_index + 1) % 8;
+        h.cycle_start_sec = s.now_sec;
+      }
+      break;
+    default:
+      MPSIM_CHECK(false, "unknown CoupledBBR mode");
+  }
+
+  double gain;
+  double cg;
+  switch (h.mode) {
+    case kStartup:
+      gain = kHighGain;
+      cg = kHighGain;
+      break;
+    case kDrain:
+      gain = 1.0 / kHighGain;
+      cg = kHighGain;
+      break;
+    default: {
+      gain = kProbeGains[h.cycle_index];
+      if (gain > 1.0) {
+        // The coupling of arXiv 2002.06284: probe in proportion to this
+        // subflow's share of the connection's total bandwidth, so the
+        // aggregate overshoot matches a single BBR flow's.
+        const double total = total_btl_bw(c);
+        const double share = total > 0.0 ? h.btl_bw / total : 1.0;
+        gain = 1.0 + (gain - 1.0) * share;
+      }
+      cg = 2.0;
+      break;
+    }
+  }
+  h.pacing_gain = gain;
+  h.cwnd_gain = cg;
+  double rate = gain * h.btl_bw;
+  if (rate <= 0.0) {
+    // No delivery sample has cleared the filter yet (all app-limited):
+    // pace off the ACK clock instead so the pacer never stalls.
+    rate = kHighGain * c.cwnd_pkts(r) / c.srtt_sec(r);
+  }
+  h.pacing_rate = rate;
+  MPSIM_CHECK(h.pacing_rate > 0.0,
+              "CoupledBBR must always publish a positive pacing rate");
+}
+
+double CoupledBbr::pacing_rate(const ConnectionView& c, std::size_t r) const {
+  const RateHot* h = c.rate_state(r);
+  if (h != nullptr && h->pacing_rate > 0.0) return h->pacing_rate;
+  // Before the first delivery sample: startup-gain over the ACK clock.
+  return kHighGain * c.cwnd_pkts(r) / c.srtt_sec(r);
+}
+
+double CoupledBbr::cwnd_gain(const ConnectionView& c, std::size_t r) const {
+  const RateHot* h = c.rate_state(r);
+  if (h != nullptr && h->cwnd_gain > 0.0) return h->cwnd_gain;
+  return kHighGain;
+}
+
+double CoupledBbr::target_cwnd_pkts(const ConnectionView& c,
+                                    std::size_t r) const {
+  const RateHot* h = c.rate_state(r);
+  if (h == nullptr || h->btl_bw <= 0.0 || h->min_rtt_sec <= 0.0) {
+    return c.cwnd_pkts(r);
+  }
+  // Inflight cap: cwnd_gain * BDP, floored so the estimator keeps getting
+  // enough packets per round to produce samples.
+  return std::max(4.0, cwnd_gain(c, r) * bdp_pkts(*h));
+}
+
+const CoupledBbr& coupled_bbr() {
+  static const CoupledBbr instance;
+  return instance;
+}
+
+}  // namespace mpsim::cc

@@ -1,0 +1,50 @@
+// Coupled BBR — a rate-based controller in the style of BBR (Cardwell et
+// al.) with the cross-subflow coupling of arXiv 2002.06284 ("Coupled BBR
+// for MPTCP"): each subflow runs the BBR state machine over its own
+// bottleneck-bandwidth and min-RTT estimates, but the PROBE_BW bandwidth
+// probe is scaled by the subflow's share of the connection's total
+// estimated bandwidth, so the aggregate probes like one BBR flow instead
+// of n of them.
+//
+// Per subflow (state in the arena-resident RateHot row):
+//   btl_bw   = windowed max of delivery-rate samples over 3 rounds
+//   min_rtt  = windowed min RTT over ~10 s
+//   STARTUP  : pacing gain 2.885 (2/ln 2) until btl_bw plateaus for 3
+//              consecutive rounds (growth < 25%)
+//   DRAIN    : pacing gain 1/2.885 until inflight <= BDP
+//   PROBE_BW : 8-phase gain cycle [1.25, 0.75, 1, 1, 1, 1, 1, 1], one
+//              phase per min_rtt; the 1.25 probe becomes
+//              1 + 0.25 * (btl_bw_r / sum_p btl_bw_p)
+//
+// This class answers the rate-based half of the CongestionControl
+// interface: increase_per_ack is 0 (the window is not ACK-clocked),
+// window_after_loss leaves the window alone (loss is not a primary
+// congestion signal for BBR), and pacing_rate/target_cwnd_pkts drive the
+// subflow's pacer and inflight cap. pacing_rate is always positive: before
+// the first delivery sample it falls back to cwnd/srtt scaled by the
+// startup gain.
+#pragma once
+
+#include "cc/congestion_control.hpp"
+
+namespace mpsim::cc {
+
+class CoupledBbr : public CongestionControl {
+ public:
+  bool rate_based() const override { return true; }
+  double increase_per_ack(const ConnectionView& c,
+                          std::size_t r) const override;
+  double window_after_loss(const ConnectionView& c,
+                           std::size_t r) const override;
+  void on_ack_sample(const ConnectionView& c, std::size_t r,
+                     const DeliveryRateSample& s) const override;
+  double pacing_rate(const ConnectionView& c, std::size_t r) const override;
+  double cwnd_gain(const ConnectionView& c, std::size_t r) const override;
+  double target_cwnd_pkts(const ConnectionView& c,
+                          std::size_t r) const override;
+  std::string name() const override { return "CoupledBBR"; }
+};
+
+const CoupledBbr& coupled_bbr();
+
+}  // namespace mpsim::cc

@@ -1,0 +1,113 @@
+#include "cc/olia.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace mpsim::cc {
+
+namespace {
+// Same inline capacity as the LIA fast path: connections with more paths
+// spill to the heap, unreachable for the paper's 2-8 path topologies.
+constexpr std::size_t kInlinePaths = 32;
+}  // namespace
+
+double Olia::increase_per_ack(const ConnectionView& c, std::size_t r) const {
+  MPSIM_CHECK(c.subflow_active(r),
+              "OLIA increase requested for an inactive subflow");
+  const std::size_t n = c.num_subflows();
+
+  // Snapshot active subflows into stack buffers (per-ACK fast path).
+  std::array<std::size_t, kInlinePaths> id_buf;
+  std::vector<std::size_t> id_spill;
+  std::size_t* ids = id_buf.data();
+  if (n > kInlinePaths) {
+    // Spill only beyond kInlinePaths subflows, like LIA.
+    // mpsim-analyze: allow(hot-alloc)
+    id_spill.resize(n);
+    ids = id_spill.data();
+  }
+  std::size_t m = 0;
+  double denom = 0.0;       // sum_p w_p / rtt_p
+  double max_w = 0.0;       // the max-window set M's window
+  double best_metric = 0.0; // the best-path set B's l_p^2 / rtt_p
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!c.subflow_active(s)) continue;
+    ids[m++] = s;
+    const double w = c.cwnd_pkts(s);
+    const double rtt = c.srtt_sec(s);
+    MPSIM_CHECK(w > 0.0 && rtt > 0.0,
+                "OLIA needs positive windows and RTTs");
+    denom += w / rtt;
+    const double l = std::max(1.0, c.loss_interval_pkts(s));
+    max_w = std::max(max_w, w);
+    best_metric = std::max(best_metric, l * l / rtt);
+  }
+  MPSIM_CHECK(m >= 1, "OLIA consulted with no active subflow");
+
+  // Membership sweep with a small relative tolerance: the sets are defined
+  // by exact maxima, and floating-point snapshots of "equal" paths must
+  // land in the same set for the tie cases the algorithm reasons about.
+  const auto near = [](double v, double target) {
+    return v >= target * (1.0 - 1e-12);
+  };
+  std::size_t n_best = 0;       // |B|
+  std::size_t n_max = 0;        // |M|
+  std::size_t n_collected = 0;  // |B \ M|
+  bool r_in_max = false;
+  bool r_in_collected = false;
+  for (std::size_t u = 0; u < m; ++u) {
+    const std::size_t s = ids[u];
+    const double w = c.cwnd_pkts(s);
+    const double l = std::max(1.0, c.loss_interval_pkts(s));
+    const bool in_best = near(l * l / c.srtt_sec(s), best_metric);
+    const bool in_max = near(w, max_w);
+    n_best += in_best ? 1 : 0;
+    n_max += in_max ? 1 : 0;
+    const bool collected = in_best && !in_max;
+    n_collected += collected ? 1 : 0;
+    if (s == r) {
+      r_in_max = in_max;
+      r_in_collected = collected;
+    }
+  }
+  (void)n_best;
+
+  const double w_r = c.cwnd_pkts(r);
+  const double rtt_r = c.srtt_sec(r);
+  const double nd = static_cast<double>(m);
+  double alpha = 0.0;
+  if (n_collected > 0) {
+    if (r_in_collected) {
+      alpha = 1.0 / (nd * static_cast<double>(n_collected));
+    } else if (r_in_max) {
+      alpha = -1.0 / (nd * static_cast<double>(n_max));
+    }
+  }
+  // When every best path already has the max window, C is empty and OLIA
+  // degenerates to the pure coupled term (alpha_r = 0 for all r).
+
+  const double coupled = (w_r / (rtt_r * rtt_r)) / (denom * denom);
+  // arXiv 1812.03210 bounds: the coupled term is at most the single-path
+  // 1/w_r (denom >= w_r/rtt_r), and |alpha_r| <= 1/n by construction —
+  // so the per-ACK increase can never exceed twice a regular TCP's, nor
+  // shrink the window faster than 1/(n*w_r) per ACK.
+  MPSIM_CHECK(coupled > 0.0 && coupled <= 1.0 / w_r + 1e-12,
+              "OLIA coupled term outside (0, 1/w_r]");
+  MPSIM_CHECK(std::abs(alpha) <= 1.0 / nd + 1e-12,
+              "OLIA alpha term outside [-1/n, 1/n]");
+  return coupled + alpha / w_r;
+}
+
+double Olia::window_after_loss(const ConnectionView& c, std::size_t r) const {
+  return c.cwnd_pkts(r) / 2.0;
+}
+
+const Olia& olia() {
+  static const Olia instance;
+  return instance;
+}
+
+}  // namespace mpsim::cc

@@ -1,0 +1,39 @@
+// OLIA — the Opportunistic Linked-Increases Algorithm (Khalili et al.,
+// RFC-draft "MPTCP is not Pareto-optimal"; surveyed with kernel-measured
+// behaviour in arXiv 1812.03210). Per ACK on path r:
+//
+//   w_r += (w_r / rtt_r^2) / (sum_p w_p / rtt_p)^2  +  alpha_r / w_r
+//
+// The first term is the coupled increase that equalises congestion across
+// paths; alpha_r is the "opportunistic" reallocation term built from the
+// inter-loss intervals l_p (ConnectionView::loss_interval_pkts):
+//
+//   best paths  B = argmax_p l_p^2 / rtt_p   (paths with max available bw)
+//   max-window  M = argmax_p w_p
+//   collected   C = B \ M                    (best paths with small windows)
+//
+//   alpha_r =  1/(n*|C|)  if r in C          (grow the underused best paths)
+//   alpha_r = -1/(n*|M|)  if r in M and C != {} (shrink the bloated ones)
+//   alpha_r =  0          otherwise
+//
+// so sum_r alpha_r = 0: reallocation never changes the aggregate
+// aggressiveness, which stays within the coupled term's 1/w_r bound. With
+// one path both terms collapse to regular TCP's 1/w. Loss halves w_r.
+#pragma once
+
+#include "cc/congestion_control.hpp"
+
+namespace mpsim::cc {
+
+class Olia : public CongestionControl {
+ public:
+  double increase_per_ack(const ConnectionView& c,
+                          std::size_t r) const override;
+  double window_after_loss(const ConnectionView& c,
+                           std::size_t r) const override;
+  std::string name() const override { return "OLIA"; }
+};
+
+const Olia& olia();
+
+}  // namespace mpsim::cc

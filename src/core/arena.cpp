@@ -8,8 +8,11 @@ SimArena& SimArena::of(EventList& events) {
   if (EventList::Service* s = events.service(EventList::kArenaSlot)) {
     return static_cast<SimArena&>(*s);
   }
-  return static_cast<SimArena&>(
-      events.attach_service(EventList::kArenaSlot, std::make_unique<SimArena>()));
+  // One-off per EventList: every call after the first takes the early
+  // return above; only the very first arena user pays the attach.
+  return static_cast<SimArena&>(events.attach_service(
+      // mpsim-analyze: allow(hot-alloc)
+      EventList::kArenaSlot, std::make_unique<SimArena>()));
 }
 
 }  // namespace mpsim

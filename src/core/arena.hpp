@@ -45,6 +45,30 @@ struct alignas(64) SubflowHot {
 };
 static_assert(sizeof(SubflowHot) == 64, "one cache line per subflow");
 
+// Per-subflow rate-control state, two cache lines per subflow. Allocated
+// only for connections whose congestion controller is rate-based
+// (cc::CongestionControl::rate_based()): written by the controller's
+// on_ack_sample() and read by the subflow's pacer on every launch decision
+// and by coupled controllers sweeping sibling bandwidth shares. Times are
+// kept in double seconds — this row only feeds floating-point rate math,
+// never the event scheduler.
+struct alignas(64) RateHot {
+  double btl_bw = 0.0;         // bottleneck-bw estimate, pkts/sec (max filter)
+  double bw_filter[3] = {0.0, 0.0, 0.0};  // per-round max shift registers
+  double min_rtt_sec = 0.0;    // windowed min RTT (0 = no sample yet)
+  double min_rtt_at_sec = 0.0; // when min_rtt_sec was last lowered/refreshed
+  double cycle_start_sec = 0.0;  // PROBE_BW gain-cycle phase start
+  double pacing_rate = 0.0;    // pkts/sec the pacer spaces launches at
+  double pacing_gain = 0.0;    // current gain applied to btl_bw
+  double cwnd_gain = 0.0;      // window gain applied to the BDP
+  double full_bw = 0.0;        // STARTUP bw-plateau tracker
+  std::uint64_t delivered_pkts = 0;  // mirror of the estimator's counter
+  std::uint32_t mode = 0;        // controller-defined state-machine phase
+  std::uint32_t cycle_index = 0;   // PROBE_BW gain-cycle position
+  std::uint32_t full_bw_count = 0; // rounds without bw growth in STARTUP
+};
+static_assert(sizeof(RateHot) == 128, "two cache lines per rate-mode subflow");
+
 // Per-queue occupancy and flow counters, one cache line per queue. Written
 // by net::Queue on every arrival/departure.
 struct alignas(64) QueueHot {
@@ -79,6 +103,16 @@ class SimArena final : public EventList::Service {
   QueueHot& queue(std::uint32_t id) { return queues_[id]; }
   const QueueHot& queue(std::uint32_t id) const { return queues_[id]; }
   std::uint32_t num_queues() const { return queues_.size(); }
+
+  // Rate-control rows, allocated per subflow only when the connection's
+  // congestion controller is rate-based; same stable-address/free-list
+  // lifecycle as the subflow rows.
+  std::uint32_t add_rate() { return rates_.add(); }
+  RateHot& rate(std::uint32_t id) { return rates_[id]; }
+  const RateHot& rate(std::uint32_t id) const { return rates_[id]; }
+  std::uint32_t num_rates() const { return rates_.size(); }
+  void release_rate(std::uint32_t id) { rates_.release(id); }
+  std::uint32_t free_rate_rows() const { return rates_.free_rows(); }
 
  private:
   // A growable column of rows with stable addresses: chunks are allocated
@@ -128,6 +162,7 @@ class SimArena final : public EventList::Service {
 
   Column<SubflowHot> subflows_;
   Column<QueueHot> queues_;
+  Column<RateHot> rates_;
 };
 
 }  // namespace mpsim

@@ -18,15 +18,17 @@ MptcpConnection::MptcpConnection(EventList& events, std::string name,
       cc_(cc),
       cfg_(cfg),
       flow_id_(events.alloc_flow_id()),
-      scheduler_(cfg.app_limit_pkts, cfg.recv_buffer_pkts),
+      scheduler_(make_data_scheduler(cfg.scheduler, cfg.app_limit_pkts,
+                                     cfg.recv_buffer_pkts)),
       receiver_(events, EventSource::name() + "/rx", flow_id_,
                 cfg.recv_buffer_pkts) {
+  scheduler_->set_view(this);
   trace_ = trace::TraceRecorder::find(events);
   if (trace_ != nullptr) {
     trace_id_ = trace_->register_object(EventSource::name());
     // Reinjection decisions happen inside the scheduler (which owns the
     // dedup); give it its own object id so those records are attributable.
-    scheduler_.set_trace(
+    scheduler_->set_trace(
         &events_, trace_,
         trace_->register_object(EventSource::name() + "/sched"), flow_id_);
   }
@@ -52,6 +54,10 @@ tcp::Subflow& MptcpConnection::add_subflow(
       // mpsim-analyze: allow(hot-alloc)
       events_, EventSource::name() + "/sf" + std::to_string(id), *this,
       flow_id_, id, cfg_.subflow);
+  // A rate-based controller needs every subflow in rate mode from its
+  // first transmission: estimator board armed, pacer live, window
+  // model-driven.
+  if (cc_.rate_based()) sub->enable_rate_mode();
 
   // mpsim-analyze: allow(hot-alloc)
   auto fwd = std::make_unique<net::Route>();
@@ -78,6 +84,10 @@ tcp::Subflow& MptcpConnection::add_subflow(
   subflows_.push_back(std::move(sub));
   // mpsim-analyze: allow(hot-alloc)
   hot_.push_back(&subflows_.back()->hot());
+  // mpsim-analyze: allow(hot-alloc)
+  rate_hot_.push_back(subflows_.back()->rate_mode()
+                          ? &subflows_.back()->rate_hot()
+                          : nullptr);
 
   // Record subflow-set changes of a *live* connection only: build-time
   // path registration is structural configuration, not a lifecycle event
@@ -128,9 +138,9 @@ void MptcpConnection::pump_all() {
   pumping_ = false;
 }
 
-bool MptcpConnection::next_data(std::uint32_t /*subflow_id*/,
+bool MptcpConnection::next_data(std::uint32_t subflow_id,
                                 std::uint64_t& data_seq) {
-  return scheduler_.next_data(data_seq);
+  return scheduler_->next_data(subflow_id, data_seq);
 }
 
 double MptcpConnection::ca_increase(std::uint32_t subflow_id) {
@@ -145,17 +155,17 @@ void MptcpConnection::on_data_ack(std::uint64_t data_cum_ack,
                                   std::uint64_t rcv_window) {
   // A data-level cumulative ACK can never pass the highest data sequence
   // the scheduler has handed out (the receiver acks only what was sent).
-  MPSIM_CHECK(data_cum_ack <= scheduler_.next_new(),
+  MPSIM_CHECK(data_cum_ack <= scheduler_->next_new(),
               "data-level ACK beyond the highest data seq ever sent");
-  scheduler_.on_data_ack(data_cum_ack, rcv_window);
-  if (scheduler_.data_cum_ack() > last_data_cum_) {
-    last_data_cum_ = scheduler_.data_cum_ack();
+  scheduler_->on_data_ack(data_cum_ack, rcv_window);
+  if (scheduler_->data_cum_ack() > last_data_cum_) {
+    last_data_cum_ = scheduler_->data_cum_ack();
     last_data_advance_ = events_.now();
     MPSIM_TRACE(trace_,
                 trace::data_ack(events_.now(), trace_id_, flow_id_,
-                                last_data_cum_, scheduler_.right_edge()));
+                                last_data_cum_, scheduler_->right_edge()));
   }
-  if (scheduler_.complete() && !completion_fired_) {
+  if (scheduler_->complete() && !completion_fired_) {
     completion_fired_ = true;
     completed_at_ = events_.now();
     if (on_complete) on_complete();
@@ -177,10 +187,10 @@ void MptcpConnection::drop_subflow(std::size_t r, bool rto_dead) {
   // seqs wait in the queue for the next reactivation.
   const std::vector<std::uint64_t> outstanding = sf.outstanding_data();
   sf.deactivate();
-  scheduler_.reinject(outstanding);
+  scheduler_->reinject(outstanding);
   // Entries targeting data the receiver already has must not linger in the
   // dedup set now that no ACK from this subflow will retire them promptly.
-  scheduler_.purge_acked();
+  scheduler_->purge_acked();
   MPSIM_TRACE(trace_,
               trace::subflow_drop(events_.now(), trace_id_, flow_id_,
                                   static_cast<std::uint32_t>(r),
@@ -208,12 +218,28 @@ void MptcpConnection::on_subflow_rto(
   // Only reinject if an *active* sibling exists to carry the data; the
   // timed-out subflow itself still go-back-N retransmits on its own
   // schedule.
-  if (num_active_subflows() > 1) scheduler_.reinject(outstanding);
+  if (num_active_subflows() > 1) scheduler_->reinject(outstanding);
   // A reset is also the moment stale pending entries (queued for data the
   // receiver meanwhile acknowledged) are guaranteed purgeable.
-  scheduler_.purge_acked();
+  scheduler_->purge_acked();
   (void)subflow_id;
   pump_all();
+}
+
+void MptcpConnection::on_ack_sample(std::uint32_t subflow_id,
+                                    const cc::DeliveryRateSample& sample) {
+  cc_.on_ack_sample(*this, subflow_id, sample);
+  RateHot* rh = rate_hot_[subflow_id];
+  MPSIM_CHECK(rh != nullptr && rh->pacing_rate > 0.0,
+              "a rate-based controller must publish a positive pacing rate "
+              "on every delivery sample");
+  tcp::Subflow& sf = *subflows_[subflow_id];
+  sf.set_cwnd(cc_.target_cwnd_pkts(*this, subflow_id));
+  MPSIM_TRACE(trace_,
+              trace::rate_sample(events_.now(), trace_id_, flow_id_,
+                                 subflow_id, sample.delivery_rate,
+                                 rh->pacing_rate, sample.delivered_pkts,
+                                 sample.app_limited));
 }
 
 void MptcpConnection::on_subflow_progress(std::uint32_t /*subflow_id*/) {
@@ -246,7 +272,7 @@ void MptcpConnection::maybe_reinject_head_of_line() {
       // (an RTT-scale interval), so scratch allocation here is off the
       // per-packet path by construction.
       // mpsim-analyze: allow(hot-alloc)
-      if (seq >= scheduler_.data_cum_ack()) outstanding.push_back(seq);
+      if (seq >= scheduler_->data_cum_ack()) outstanding.push_back(seq);
     }
   }
   if (outstanding.empty()) return;
@@ -255,7 +281,7 @@ void MptcpConnection::maybe_reinject_head_of_line() {
     // mpsim-analyze: allow(hot-alloc)
     outstanding.resize(cfg_.hol_reinject_batch);
   }
-  scheduler_.reinject(outstanding);
+  scheduler_->reinject(outstanding);
   last_hol_reinject_ = now;
   ++hol_reinjections_;
 }

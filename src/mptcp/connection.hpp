@@ -55,11 +55,19 @@ struct ConnectionConfig {
   SimTime hol_reinject_timeout = from_ms(300);
   // At most this many data seqs are reinjected per stall check.
   std::size_t hol_reinject_batch = 64;
+  // Data-placement policy (mptcp/scheduler.hpp registry). The default is
+  // the paper's window-based striping, bit-exact with the pre-registry
+  // behaviour.
+  DataSchedulerKind scheduler = DataSchedulerKind::kStripe;
   tcp::SubflowConfig subflow;
 };
 
+// Implements cc::ConnectionView (congestion control's sibling sweep) and
+// SchedulerView (data-placement ranking) with the same overrides: the two
+// interfaces deliberately share signatures.
 class MptcpConnection : public tcp::SubflowHost,
                         public cc::ConnectionView,
+                        public SchedulerView,
                         public EventSource {
  public:
   MptcpConnection(EventList& events, std::string name,
@@ -101,11 +109,17 @@ class MptcpConnection : public tcp::SubflowHost,
   void on_subflow_rto(std::uint32_t subflow_id,
                       const std::vector<std::uint64_t>& outstanding) override;
   void on_subflow_progress(std::uint32_t subflow_id) override;
+  // Rate mode: feed the delivery-rate sample to the controller, then apply
+  // the model it answers with (pacing rate into the subflow's RateHot row,
+  // target inflight cap onto its window).
+  void on_ack_sample(std::uint32_t subflow_id,
+                     const cc::DeliveryRateSample& sample) override;
 
   // --- cc::ConnectionView (read by the congestion controller) ---
   // The coupled increase term sweeps every sibling on every ACK; these read
   // the subflows' SoA arena rows (cached in hot_) so the sweep walks
   // consecutive cache lines instead of dereferencing Subflow objects.
+  // (Each override below satisfies both ConnectionView and SchedulerView.)
   std::size_t num_subflows() const override { return subflows_.size(); }
   double cwnd_pkts(std::size_t r) const override {
     const SubflowHot& h = *hot_[r];
@@ -114,6 +128,14 @@ class MptcpConnection : public tcp::SubflowHost,
   double srtt_sec(std::size_t r) const override;
   bool subflow_active(std::size_t r) const override {
     return hot_[r]->active != 0;
+  }
+  double inflight_pkts(std::size_t r) const override {
+    const SubflowHot& h = *hot_[r];
+    return static_cast<double>(h.snd_nxt - h.snd_una);
+  }
+  RateHot* rate_state(std::size_t r) const override { return rate_hot_[r]; }
+  double loss_interval_pkts(std::size_t r) const override {
+    return subflows_[r]->loss_interval_pkts();
   }
 
   // --- EventSource (start trigger) ---
@@ -145,14 +167,14 @@ class MptcpConnection : public tcp::SubflowHost,
   const tcp::Subflow& subflow(std::size_t r) const { return *subflows_[r]; }
   MptcpReceiver& receiver() { return receiver_; }
   const MptcpReceiver& receiver() const { return receiver_; }
-  const DataScheduler& scheduler() const { return scheduler_; }
+  const DataScheduler& scheduler() const { return *scheduler_; }
   const cc::CongestionControl& algorithm() const { return cc_; }
   std::uint32_t flow_id() const { return flow_id_; }
 
   // In-order goodput delivered to the receiving application.
   std::uint64_t delivered_pkts() const { return receiver_.delivered(); }
   double delivered_mbps(SimTime elapsed) const;
-  bool complete() const { return scheduler_.complete(); }
+  bool complete() const { return scheduler_->complete(); }
   SimTime started_at() const { return start_time_; }
   SimTime completed_at() const { return completed_at_; }
 
@@ -178,10 +200,13 @@ class MptcpConnection : public tcp::SubflowHost,
   const cc::CongestionControl& cc_;
   ConnectionConfig cfg_;
   std::uint32_t flow_id_;
-  DataScheduler scheduler_;
+  std::unique_ptr<DataScheduler> scheduler_;
   MptcpReceiver receiver_;
   std::vector<std::unique_ptr<tcp::Subflow>> subflows_;
   std::vector<const SubflowHot*> hot_;  // subflows_[r]->hot(), stable rows
+  // subflows_[r]'s arena RateHot row, or nullptr outside rate mode (the
+  // controller reaches it through ConnectionView::rate_state).
+  std::vector<RateHot*> rate_hot_;
   std::vector<std::unique_ptr<net::Route>> routes_;
   SimTime start_time_ = 0;
   SimTime completed_at_ = kNever;

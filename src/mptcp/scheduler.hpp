@@ -3,15 +3,39 @@
 // available").
 //
 // The scheduler owns the data sequence space: it hands out new data
-// sequence numbers on demand (so whichever subflow has window space first
-// gets the next packet — window-based striping), tracks the data-level
-// cumulative ACK and the receiver-advertised window, and queues
-// reinjections: data stranded on a timed-out subflow that should be
-// retransmitted on a sibling (§6 / the mobile scenario of §5).
+// sequence numbers on demand, tracks the data-level cumulative ACK and the
+// receiver-advertised window, and queues reinjections: data stranded on a
+// timed-out subflow that should be retransmitted on a sibling (§6 / the
+// mobile scenario of §5).
+//
+// DataScheduler is a small registry of policies, all sharing the sequence
+// bookkeeping above and differing only in *which* subflow a fresh packet
+// is granted to:
+//
+//   stripe        the base class: whichever subflow has window space first
+//                 gets the next packet (window-based striping — the
+//                 paper's behaviour, bit-exact with the pre-registry code)
+//   min_rtt_first fresh data is deferred on a subflow while an active
+//                 sibling with lower srtt (ties: lower id) still has free
+//                 window — reinjections always go through
+//   redundant     every subflow independently walks the same fresh data
+//                 stream, so each packet rides every active path and the
+//                 receiver suppresses the duplicates (lowest latency,
+//                 paid in capacity)
+//   blest         BLEST-style blocking estimation: a slow subflow is
+//                 refused fresh data when the fastest active sibling's
+//                 projected capacity over one slow-path RTT covers the
+//                 remaining send window anyway (avoids HoL at the
+//                 receiver window)
+//
+// Policies that rank subflows see them through SchedulerView, implemented
+// by MptcpConnection over the arena rows; without a view every policy
+// degenerates to stripe.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -19,6 +43,26 @@
 #include "trace/trace.hpp"
 
 namespace mpsim::mptcp {
+
+// Selectable scheduling policy (scenario spec: [scheduler] kind = "...").
+// Named DataSchedulerKind: core::SchedulerKind already names the *event*
+// scheduler backends (heap/wheel/adaptive); these pick data placement.
+enum class DataSchedulerKind { kStripe, kMinRttFirst, kRedundant, kBlest };
+
+const char* to_string(DataSchedulerKind kind);
+
+// What a placement policy may ask about the connection's subflows. The
+// signatures deliberately match cc::ConnectionView so MptcpConnection
+// satisfies both interfaces with single overrides.
+class SchedulerView {
+ public:
+  virtual ~SchedulerView() = default;
+  virtual std::size_t num_subflows() const = 0;
+  virtual bool subflow_active(std::size_t r) const = 0;
+  virtual double srtt_sec(std::size_t r) const = 0;
+  virtual double cwnd_pkts(std::size_t r) const = 0;
+  virtual double inflight_pkts(std::size_t r) const = 0;
+};
 
 class DataScheduler {
  public:
@@ -28,11 +72,25 @@ class DataScheduler {
   DataScheduler(std::uint64_t app_limit_pkts, std::uint64_t initial_window)
       : app_limit_(app_limit_pkts),
         right_edge_(initial_window) {}
+  virtual ~DataScheduler() = default;
 
-  // Next data sequence number to transmit: queued reinjections first, then
-  // fresh data, subject to the data-level flow-control window and the
-  // application limit. Returns false if nothing may be sent.
-  bool next_data(std::uint64_t& data_seq);
+  // Next data sequence number for `subflow_id` to transmit: queued
+  // reinjections first (these unblock the receiver's head-of-line and are
+  // never policy-gated), then fresh data subject to the data-level
+  // flow-control window, the application limit, and the policy's placement
+  // rule. Returns false if this subflow may send nothing now.
+  virtual bool next_data(std::uint32_t subflow_id, std::uint64_t& data_seq);
+
+  // Single-subflow convenience (tests, abstract drivers): stripe-equivalent.
+  bool next_data(std::uint64_t& data_seq) { return next_data(0, data_seq); }
+
+  virtual const char* kind_name() const {
+    return to_string(DataSchedulerKind::kStripe);
+  }
+
+  // Install the subflow-ranking view. Optional: policies fall back to
+  // stripe placement without one. Not owned; must outlive the scheduler.
+  void set_view(const SchedulerView* view) { view_ = view; }
 
   // Process a data-level cumulative ACK + receive window. The right edge
   // (ack + window) only ever moves forward: ACKs may be reordered across
@@ -80,11 +138,23 @@ class DataScheduler {
     return app_limited() && data_cum_ack_ >= app_limit_;
   }
 
- private:
+ protected:
+  // The two placement primitives subclasses compose: drain the reinject
+  // queue / advance the fresh-data edge under flow control. Base
+  // next_data() is exactly next_reinject || next_fresh.
+  bool next_reinject(std::uint64_t& data_seq);
+  bool next_fresh(std::uint64_t& data_seq);
+  // Remaining fresh packets the limits admit right now (for BLEST).
+  std::uint64_t fresh_window_pkts() const;
+
+  const SchedulerView* view_ = nullptr;
+
   std::uint64_t app_limit_;
   std::uint64_t right_edge_;
   std::uint64_t next_new_ = 0;
   std::uint64_t data_cum_ack_ = 0;
+
+ private:
   std::deque<std::uint64_t> reinject_q_;
   std::unordered_set<std::uint64_t> reinject_pending_;
   std::uint64_t reinjected_total_ = 0;
@@ -97,5 +167,45 @@ class DataScheduler {
   std::uint16_t trace_id_ = 0;
   std::uint32_t trace_flow_ = 0;
 };
+
+class MinRttFirstScheduler : public DataScheduler {
+ public:
+  using DataScheduler::DataScheduler;
+  using DataScheduler::next_data;
+  bool next_data(std::uint32_t subflow_id, std::uint64_t& data_seq) override;
+  const char* kind_name() const override {
+    return to_string(DataSchedulerKind::kMinRttFirst);
+  }
+};
+
+class RedundantScheduler : public DataScheduler {
+ public:
+  using DataScheduler::DataScheduler;
+  using DataScheduler::next_data;
+  bool next_data(std::uint32_t subflow_id, std::uint64_t& data_seq) override;
+  const char* kind_name() const override {
+    return to_string(DataSchedulerKind::kRedundant);
+  }
+
+ private:
+  // Per-subflow cursor into the shared fresh stream; each subflow sends
+  // every (not-yet-delivered) data seq, and the receiver's reorder set
+  // counts the suppressed duplicates.
+  std::vector<std::uint64_t> cursor_;
+};
+
+class BlestScheduler : public DataScheduler {
+ public:
+  using DataScheduler::DataScheduler;
+  using DataScheduler::next_data;
+  bool next_data(std::uint32_t subflow_id, std::uint64_t& data_seq) override;
+  const char* kind_name() const override {
+    return to_string(DataSchedulerKind::kBlest);
+  }
+};
+
+std::unique_ptr<DataScheduler> make_data_scheduler(
+    DataSchedulerKind kind, std::uint64_t app_limit_pkts,
+    std::uint64_t initial_window);
 
 }  // namespace mpsim::mptcp

@@ -17,9 +17,12 @@
 #include <utility>
 #include <vector>
 
+#include "cc/balia.hpp"
 #include "cc/coupled.hpp"
+#include "cc/coupled_bbr.hpp"
 #include "cc/ewtcp.hpp"
 #include "cc/mptcp_lia.hpp"
+#include "cc/olia.hpp"
 #include "cc/rfc6356.hpp"
 #include "cc/semicoupled.hpp"
 #include "cc/uncoupled.hpp"
@@ -326,6 +329,12 @@ AlgorithmInstance make_algorithm(const std::string& kind,
     a.cc = std::make_unique<cc::MptcpLia>();
   } else if (kind == "rfc6356") {
     a.cc = std::make_unique<cc::Rfc6356>();
+  } else if (kind == "olia") {
+    a.cc = std::make_unique<cc::Olia>();
+  } else if (kind == "balia") {
+    a.cc = std::make_unique<cc::Balia>();
+  } else if (kind == "coupled_bbr") {
+    a.cc = std::make_unique<cc::CoupledBbr>();
   } else if (kind == "single") {
     a.cc = std::make_unique<cc::Uncoupled>();
     a.single_path = true;
@@ -369,6 +378,17 @@ mptcp::PathManagerConfig parse_path_manager(const Section& s) {
       "dead_after_rtos", static_cast<std::int64_t>(cfg.dead_after_rtos)));
   if (cfg.dead_after_rtos < 1) s.fail("'dead_after_rtos' must be >= 1");
   return cfg;
+}
+
+// The [scheduler] section -> the data-placement policy of the connections
+// a traffic model builds. Absent section = the paper's stripe. The kind
+// key goes through the registry so an unknown name fails with the
+// section's file:line and the list of known kinds.
+mptcp::DataSchedulerKind parse_scheduler(const BuildEnv& env) {
+  if (env.scheduler == nullptr) return mptcp::DataSchedulerKind::kStripe;
+  const Section& s = *env.scheduler;
+  const std::string kind = s.get_string("kind", "stripe");
+  return builtin_registry().scheduler(kind, s)(s);
 }
 
 // "0", "1", "0+1", ... — '+'-joined path indices for one flow.
@@ -477,6 +497,7 @@ class PersistentTraffic final : public TrafficModel {
     ccfg.recv_buffer_pkts = recv_buffer_pkts_;
     ccfg.app_limit_pkts = app_limit_pkts_;
     ccfg.subflow.min_rto = min_rto_;
+    ccfg.scheduler = parse_scheduler(env);
 
     // With a [path_manager] section, the flow's path set becomes the
     // manager's candidate list and the manager decides what actually opens
@@ -584,7 +605,6 @@ class MatrixTraffic final : public TrafficModel {
   void build(EventList& events, BuiltTopology& topo,
              const AlgorithmInstance& algo, Rng& rng,
              const BuildEnv& env) override {
-    (void)env;
     hosts_ = topo.num_hosts();
     if (hosts_ <= 0) {
       section_->fail("matrix traffic needs a host-addressable topology "
@@ -616,6 +636,7 @@ class MatrixTraffic final : public TrafficModel {
     mptcp::ConnectionConfig ccfg;
     ccfg.subflow.min_rto = min_rto_;
     ccfg.recv_buffer_pkts = recv_buffer_pkts_;
+    ccfg.scheduler = parse_scheduler(env);
     int idx = 0;
     for (const auto& [src, dst] : tm) {
       auto conn = std::make_unique<mptcp::MptcpConnection>(
@@ -703,10 +724,13 @@ class PoissonTraffic final : public TrafficModel {
       persistent_.push_back(mptcp::make_single_path_tcp(
           events, "long", pairs[1].first, pairs[1].second));
     }
+    mptcp::ConnectionConfig comp_cfg;
+    comp_cfg.scheduler = parse_scheduler(env);
     for (const std::string& kind : companions_) {
       AlgorithmInstance inst = make_algorithm(kind, *section_);
       auto conn = std::make_unique<mptcp::MptcpConnection>(events, kind,
-                                                           *inst.cc);
+                                                           *inst.cc,
+                                                           comp_cfg);
       conn->add_subflow(pairs[0].first, pairs[0].second);
       conn->add_subflow(pairs[1].first, pairs[1].second);
       persistent_.push_back(std::move(conn));
@@ -809,6 +833,7 @@ class ChurnTraffic final : public TrafficModel {
     mptcp::ConnectionConfig ccfg;
     ccfg.subflow.min_rto = min_rto_;
     ccfg.recv_buffer_pkts = recv_buffer_pkts_;
+    ccfg.scheduler = parse_scheduler(env);
 
     const cc::CongestionControl* cc = algo.cc.get();
     gen_ = std::make_unique<traffic::PoissonFlowGenerator>(
@@ -1059,6 +1084,14 @@ Registry make_builtin_registry() {
                   simple_algo("mptcp"));
   r.add_algorithm("rfc6356", "RFC 6356 standardisation of LIA",
                   simple_algo("rfc6356"));
+  r.add_algorithm("olia", "opportunistic LIA (arXiv 1812.03210 §2)",
+                  simple_algo("olia"));
+  r.add_algorithm("balia", "balanced LIA (arXiv 1812.03210 §3)",
+                  simple_algo("balia"));
+  r.add_algorithm("coupled_bbr",
+                  "rate-based coupled BBR (arXiv 2002.06284): paced "
+                  "subflows driven by delivery-rate estimation",
+                  simple_algo("coupled_bbr"));
   r.add_algorithm("single",
                   "single-path TCP baseline (1 subflow, uncoupled)",
                   simple_algo("single"));
@@ -1100,6 +1133,25 @@ Registry make_builtin_registry() {
                 [](const Section& s) {
                   return std::make_unique<ChurnTraffic>(s);
                 });
+
+  // Data-placement policies ([scheduler] kind=...). Builders only map the
+  // key to a DataSchedulerKind; policy state lives in mptcp/scheduler.cpp.
+  auto simple_sched = [](mptcp::DataSchedulerKind kind) {
+    return [kind](const Section&) { return kind; };
+  };
+  r.add_scheduler("stripe",
+                  "lowest-numbered subflow with window space (default)",
+                  simple_sched(mptcp::DataSchedulerKind::kStripe));
+  r.add_scheduler("min_rtt_first",
+                  "prefer the active subflow with the smallest srtt",
+                  simple_sched(mptcp::DataSchedulerKind::kMinRttFirst));
+  r.add_scheduler("redundant",
+                  "duplicate fresh data across all active subflows",
+                  simple_sched(mptcp::DataSchedulerKind::kRedundant));
+  r.add_scheduler("blest",
+                  "BLEST-style: hold fresh data off slow subflows that "
+                  "would stall the faster path's send window",
+                  simple_sched(mptcp::DataSchedulerKind::kBlest));
 
   return r;
 }

@@ -345,6 +345,8 @@ void execute_run(const ResolvedRun& run, double time_scale,
   // models that ignore it, its keys stay unread and check_all_used() below
   // rejects the spec rather than silently skipping path management.
   env.path_manager = spec.find_section("path_manager");
+  // Same consumption contract for the data-placement policy section.
+  env.scheduler = spec.find_section("scheduler");
   const SimTime warmup = env.scaled(run_sec.get_time("warmup"));
   const SimTime measure = env.scaled(run_sec.get_time("measure"));
   run_sec.find("seeds");  // consumed by expand()
@@ -509,6 +511,11 @@ void execute_run(const ResolvedRun& run, double time_scale,
 
   // The machine-readable echo of this run's resolved parameters.
   ctx.annotate("algorithm", algo.name);
+  if (env.scheduler != nullptr) {
+    // "scheduler" is taken by the event-queue backend annotation.
+    ctx.annotate("data_scheduler",
+                 env.scheduler->get_string("kind", "stripe"));
+  }
   for (const auto& [k, v] : run.point) ctx.annotate(k, v);
 }
 

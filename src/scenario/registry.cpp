@@ -56,6 +56,13 @@ const TrafficBuilder& Registry::traffic(const std::string& key,
           known_keys(traffics_) + ")");
 }
 
+const SchedulerBuilder& Registry::scheduler(const std::string& key,
+                                            const Section& at) const {
+  if (const auto* e = find_entry(schedulers_, key)) return e->builder;
+  at.fail("unknown scheduler kind '" + key + "' (known: " +
+          known_keys(schedulers_) + ")");
+}
+
 namespace {
 
 template <typename T>
@@ -75,6 +82,9 @@ Registry::Names Registry::algorithm_names() const {
 }
 Registry::Names Registry::traffic_names() const {
   return names_of(traffics_);
+}
+Registry::Names Registry::scheduler_names() const {
+  return names_of(schedulers_);
 }
 
 void Registry::add_topology(const std::string& key, const std::string& help,
@@ -96,6 +106,13 @@ void Registry::add_traffic(const std::string& key, const std::string& help,
   MPSIM_CHECK(find_entry(traffics_, key) == nullptr,
               "duplicate traffic registration");
   traffics_.push_back({key, help, std::move(b)});
+}
+
+void Registry::add_scheduler(const std::string& key, const std::string& help,
+                             SchedulerBuilder b) {
+  MPSIM_CHECK(find_entry(schedulers_, key) == nullptr,
+              "duplicate scheduler registration");
+  schedulers_.push_back({key, help, std::move(b)});
 }
 
 }  // namespace mpsim::scenario

@@ -60,6 +60,9 @@ struct BuildEnv {
   // its keys unconsumed, which check_all_used() turns into a validation
   // error (the user asked for path management a model cannot provide).
   const Section* path_manager = nullptr;
+  // The spec's [scheduler] section, or nullptr when absent (stripe). Same
+  // consumption contract as path_manager: unconsumed keys fail validation.
+  const Section* scheduler = nullptr;
 };
 
 class BuiltTopology {
@@ -133,6 +136,11 @@ using TopologyBuilder = std::function<std::unique_ptr<BuiltTopology>(
 using AlgorithmBuilder = std::function<AlgorithmInstance(const Section&)>;
 using TrafficBuilder =
     std::function<std::unique_ptr<TrafficModel>(const Section&)>;
+// Data-placement policies are an enum, not an object: the builder merely
+// maps the registry key (and any policy keys in the section) to a kind the
+// ConnectionConfig carries.
+using SchedulerBuilder =
+    std::function<mptcp::DataSchedulerKind(const Section&)>;
 
 class Registry {
  public:
@@ -146,10 +154,13 @@ class Registry {
                                     const Section& at) const;
   const TrafficBuilder& traffic(const std::string& key,
                                 const Section& at) const;
+  const SchedulerBuilder& scheduler(const std::string& key,
+                                    const Section& at) const;
 
   Names topology_names() const;
   Names algorithm_names() const;
   Names traffic_names() const;
+  Names scheduler_names() const;
 
   // Registration (builders.cpp only — enforced by lint).
   void add_topology(const std::string& key, const std::string& help,
@@ -158,6 +169,8 @@ class Registry {
                      AlgorithmBuilder b);
   void add_traffic(const std::string& key, const std::string& help,
                    TrafficBuilder b);
+  void add_scheduler(const std::string& key, const std::string& help,
+                     SchedulerBuilder b);
 
  private:
   template <typename T>
@@ -169,6 +182,7 @@ class Registry {
   std::vector<Entry<TopologyBuilder>> topologies_;
   std::vector<Entry<AlgorithmBuilder>> algorithms_;
   std::vector<Entry<TrafficBuilder>> traffics_;
+  std::vector<Entry<SchedulerBuilder>> schedulers_;
 };
 
 // The built-in registry (every kind builders.cpp registers). Constructed

@@ -38,12 +38,22 @@ Subflow::~Subflow() {
   // the hot row back for reuse by the next subflow built on this
   // simulation. h_ dangles afterwards; nothing below touches it.
   events_.cancel(*this);
+  if (rate_ != nullptr) SimArena::of(events_).release_rate(rate_id_);
   SimArena::of(events_).release_subflow(hot_id_);
+}
+
+void Subflow::enable_rate_mode() {
+  if (rate_ != nullptr) return;
+  MPSIM_CHECK(high_water_ == 0,
+              "rate mode must be enabled before the first transmission");
+  rate_id_ = SimArena::of(events_).add_rate();
+  rate_ = &SimArena::of(events_).rate(rate_id_);
 }
 
 void Subflow::deactivate() {
   if (h_.active == 0) return;
   cancel_rto();
+  pace_armed_ = false;  // a stale pacer wake-up fires as a no-op
   dupacks_ = 0;
   h_.active = 0;
 }
@@ -84,13 +94,29 @@ void Subflow::try_send() {
           : 0;
   const auto window = static_cast<std::uint64_t>(h_.cwnd) + lt_bonus;
   while (h_.snd_nxt - h_.snd_una < window) {
+    if (pacing_active()) {
+      // Pacing gate: one launch per 1/pacing_rate seconds. When the next
+      // credit lies in the future, park the remainder of the burst on the
+      // pacer timer instead of emitting it back-to-back.
+      const SimTime now = events_.now();
+      if (now < pace_next_send_) {
+        arm_pacer(pace_next_send_);
+        MPSIM_TRACE(trace_, trace::pacing_wait(now, trace_id_, flow_id_,
+                                               subflow_id_, pace_next_send_,
+                                               rate_->pacing_rate));
+        break;
+      }
+    }
     if (h_.snd_nxt < high_water_) {
       // Go-back-N resend of a segment assigned before an RTO rewind.
       send_packet(h_.snd_nxt, /*is_retransmit=*/true);
       ++h_.snd_nxt;
     } else {
       std::uint64_t dseq = 0;
-      if (!host_.next_data(subflow_id_, dseq)) break;
+      if (!host_.next_data(subflow_id_, dseq)) {
+        if (rate_ != nullptr) rate_est_.on_app_limited(h_.snd_nxt - h_.snd_una);
+        break;
+      }
       // Deque block allocation once per ~512 bytes of scoreboard growth,
       // amortized across hundreds of packets; the scoreboard itself must
       // grow with the window.
@@ -99,6 +125,10 @@ void Subflow::try_send() {
       ++high_water_;
       send_packet(h_.snd_nxt, /*is_retransmit=*/false);
       ++h_.snd_nxt;
+    }
+    if (pacing_active()) {
+      const SimTime gap = from_sec(1.0 / rate_->pacing_rate);
+      pace_next_send_ = std::max(pace_next_send_, events_.now()) + gap;
     }
   }
   if (h_.snd_una < high_water_ && !rto_armed_) arm_rto();
@@ -123,6 +153,9 @@ void Subflow::send_packet(std::uint64_t subflow_seq, bool is_retransmit) {
   }
   ++packets_sent_;
   if (is_retransmit) ++retransmits_;
+  if (rate_ != nullptr) {
+    rate_est_.on_send(subflow_seq, events_.now(), is_retransmit);
+  }
   pkt.send_on(*route_);
 }
 
@@ -173,6 +206,19 @@ void Subflow::handle_ack(net::Packet& ack) {
     }
     dupacks_ = 0;
     backoff_ = 0;
+    acked_since_loss_ += newly;
+
+    if (rate_ != nullptr) {
+      // Rate mode: the estimator retires the acked span and (when the
+      // timing is unambiguous) hands the host a delivery-rate sample. The
+      // host's controller answers by republishing pacing rate and target
+      // window — the window is model-driven, so the ACK-clocked growth
+      // below is skipped.
+      cc::DeliveryRateSample sample;
+      if (rate_est_.on_ack(cum, events_.now(), sample)) {
+        host_.on_ack_sample(subflow_id_, sample);
+      }
+    }
 
     if (h_.in_recovery) {
       if (h_.snd_una >= recover_) {
@@ -200,23 +246,25 @@ void Subflow::handle_ack(net::Packet& ack) {
         arm_rto();
       }
     } else {
-      for (std::uint64_t i = 0; i < newly; ++i) {
-        if (h_.cwnd < h_.ssthresh) {
-          h_.cwnd += 1.0;  // slow start
-        } else if (!cfg_.quantized_increase) {
-          h_.cwnd += host_.ca_increase(subflow_id_);
-        } else {
-          // Re-evaluate the (possibly expensive) coupled increase only
-          // when the window has grown a whole packet since last computed.
-          const double quantum = std::floor(h_.cwnd);
-          if (quantum != increase_quantum_) {
-            cached_increase_ = host_.ca_increase(subflow_id_);
-            increase_quantum_ = quantum;
+      if (rate_ == nullptr) {
+        for (std::uint64_t i = 0; i < newly; ++i) {
+          if (h_.cwnd < h_.ssthresh) {
+            h_.cwnd += 1.0;  // slow start
+          } else if (!cfg_.quantized_increase) {
+            h_.cwnd += host_.ca_increase(subflow_id_);
+          } else {
+            // Re-evaluate the (possibly expensive) coupled increase only
+            // when the window has grown a whole packet since last computed.
+            const double quantum = std::floor(h_.cwnd);
+            if (quantum != increase_quantum_) {
+              cached_increase_ = host_.ca_increase(subflow_id_);
+              increase_quantum_ = quantum;
+            }
+            h_.cwnd += cached_increase_;
           }
-          h_.cwnd += cached_increase_;
         }
+        clamp_cwnd();
       }
-      clamp_cwnd();
       arm_rto();  // forward progress restarts the retransmission timer
     }
   } else if (h_.snd_una < high_water_ && !ack.is_window_update) {
@@ -267,17 +315,24 @@ void Subflow::check_invariants() const {
 }
 
 void Subflow::enter_recovery() {
+  prev_loss_interval_ = acked_since_loss_;  // OLIA: rotate the l_r interval
+  acked_since_loss_ = 0;
   const bool in_slow_start = h_.cwnd < h_.ssthresh;
   const trace::TcpPhase from = phase();
   h_.ssthresh =
       std::max(cfg_.min_cwnd, host_.window_after_loss(subflow_id_));
   recover_ = h_.snd_nxt;  // dupacks below this must not re-trigger (RFC 6582)
-  if (in_slow_start) {
+  if (in_slow_start || rate_ != nullptr) {
     // Loss during slow start means the exponential overshoot dumped a
     // large burst: potentially hundreds of holes, which NewReno (no SACK)
     // would repair at one per RTT. Do a Tahoe-style go-back-N instead —
     // refilling via slow start to the halved ssthresh is far faster.
-    h_.cwnd = cfg_.min_cwnd;
+    // Rate mode always takes this path: a paced STARTUP overshoot leaves a
+    // window's worth of holes too, hole-per-RTT recovery would park the
+    // paced pipe for seconds, and the resend cannot re-flood because the
+    // pacer spaces it. The window itself stays model-driven (loss is not a
+    // primary congestion signal for a rate-based controller).
+    if (rate_ == nullptr) h_.cwnd = cfg_.min_cwnd;
     h_.snd_nxt = h_.snd_una;
     h_.in_recovery = false;
     dupacks_ = 0;
@@ -309,22 +364,29 @@ void Subflow::arm_rto() {
                           : std::min<SimTime>(cfg_.max_rto, base << shift);
   rto_deadline_ = events_.now() + rto;
   rto_armed_ = true;
-  if (next_fire_ == kNever || next_fire_ > rto_deadline_) {
-    next_fire_ = rto_deadline_;
-    events_.schedule_at(*this, rto_deadline_);
-  }
-  // Otherwise an earlier wake-up is already pending; it will re-arm itself
-  // forward to rto_deadline_ when it fires (lazy rescheduling keeps the
-  // event heap from accumulating one stale entry per ACK).
+  schedule_wakeup(rto_deadline_);
+  // If an earlier wake-up is already pending, schedule_wakeup keeps it; it
+  // will re-arm itself forward to rto_deadline_ when it fires (lazy
+  // rescheduling keeps the event heap from accumulating one stale entry
+  // per ACK).
 }
 
 void Subflow::on_event() {
   next_fire_ = kNever;
+  if (pace_armed_) {
+    if (events_.now() >= pace_deadline_) {
+      // Pacer credit matured: release the parked burst. try_send re-arms
+      // the pacer and/or the RTO via schedule_wakeup as needed.
+      pace_armed_ = false;
+      try_send();
+    } else {
+      schedule_wakeup(pace_deadline_);
+    }
+  }
   if (!rto_armed_) return;
   if (events_.now() < rto_deadline_) {
     // The deadline moved later since this wake-up was scheduled.
-    next_fire_ = rto_deadline_;
-    events_.schedule_at(*this, rto_deadline_);
+    schedule_wakeup(rto_deadline_);
     return;
   }
   rto_armed_ = false;
@@ -344,6 +406,8 @@ void Subflow::handle_timeout() {
   // from the inflated cwnd would wildly overshoot.
   ++timeouts_;
   ++loss_events_;
+  prev_loss_interval_ = acked_since_loss_;  // OLIA: rotate the l_r interval
+  acked_since_loss_ = 0;
   MPSIM_TRACE(trace_, trace::state_transition(events_.now(), trace_id_,
                                               flow_id_, subflow_id_, phase(),
                                               trace::TcpPhase::kRtoRecovery));
@@ -351,7 +415,14 @@ void Subflow::handle_timeout() {
     h_.ssthresh =
         std::max(cfg_.min_cwnd, host_.window_after_loss(subflow_id_));
   }
-  h_.cwnd = cfg_.min_cwnd;
+  // Window mode restarts from one packet and slow-starts back. Rate mode
+  // keeps the model-driven window: the go-back-N resend below is spaced by
+  // the pacer (so it cannot re-flood the path the way an ACK-clocked burst
+  // would), and collapsing here would wedge the repair at one packet per
+  // RTT — every resend ACK is Karn-ambiguous, so no delivery sample
+  // arrives to republish the controller's target until the hole train is
+  // fully repaired.
+  if (rate_ == nullptr) h_.cwnd = cfg_.min_cwnd;
   h_.in_recovery = false;
   dupacks_ = 0;
   recover_ = high_water_;  // RFC 6582: no fast retransmit for pre-RTO acks

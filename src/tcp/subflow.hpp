@@ -27,6 +27,7 @@
 #include "core/arena.hpp"
 #include "core/event_list.hpp"
 #include "net/packet.hpp"
+#include "tcp/delivery_rate.hpp"
 #include "tcp/rtt_estimator.hpp"
 #include "trace/trace.hpp"
 
@@ -81,6 +82,13 @@ class SubflowHost {
   // Progress happened on this subflow (ACK processed); the connection may
   // want to pump data into sibling subflows whose constraints changed.
   virtual void on_subflow_progress(std::uint32_t subflow_id) = 0;
+
+  // A delivery-rate sample (rate mode only): the cumulative ACK advanced
+  // and the estimator produced an unambiguous measurement. The host feeds
+  // its rate-based congestion controller and republishes pacing rate and
+  // target window. Default no-op keeps window-mode hosts oblivious.
+  virtual void on_ack_sample(std::uint32_t /*subflow_id*/,
+                             const cc::DeliveryRateSample& /*sample*/) {}
 };
 
 class Subflow : public net::PacketSink, public EventSource {
@@ -162,6 +170,31 @@ class Subflow : public net::PacketSink, public EventSource {
   // Data sequence numbers assigned to this subflow and not yet cum-acked.
   std::vector<std::uint64_t> outstanding_data() const;
 
+  // --- rate mode (pacing + delivery-rate estimation) --------------------
+  // Switch this subflow from ACK-clocked window growth to rate-based
+  // operation: every launch is recorded by a DeliveryRateEstimator, every
+  // cumulative-ACK advance produces a sample for SubflowHost::on_ack_sample
+  // (instead of running slow start / ca_increase), and transmission is
+  // spaced by the pacing rate the controller publishes into this subflow's
+  // arena RateHot row. Must be called before any data is sent; sticky for
+  // the subflow's lifetime (reactivation keeps it).
+  void enable_rate_mode();
+  bool rate_mode() const { return rate_ != nullptr; }
+  // This subflow's RateHot row (valid only in rate mode).
+  RateHot& rate_hot() { return *rate_; }
+  const RateHot& rate_hot() const { return *rate_; }
+  std::uint32_t rate_id() const { return rate_id_; }
+  const DeliveryRateEstimator& delivery_estimator() const { return rate_est_; }
+
+  // OLIA's inter-loss interval l_r, in packets: the larger of the packets
+  // acked since the last loss event and the interval between the previous
+  // two losses (the RFC-draft's smoothing against a single early loss).
+  double loss_interval_pkts() const {
+    return static_cast<double>(
+        std::max<std::uint64_t>(1, std::max(acked_since_loss_,
+                                            prev_loss_interval_)));
+  }
+
  private:
   void handle_ack(net::Packet& ack);
   void send_packet(std::uint64_t subflow_seq, bool is_retransmit);
@@ -169,6 +202,23 @@ class Subflow : public net::PacketSink, public EventSource {
   void handle_timeout();
   void arm_rto();
   void cancel_rto() { rto_armed_ = false; }
+  // Lazy wake-up scheduling shared by the RTO and the pacer: keep at most
+  // one pending scheduler entry, pulled earlier when a nearer deadline
+  // appears; on_event re-arms forward for whichever deadline moved later.
+  void schedule_wakeup(SimTime t) {
+    if (next_fire_ == kNever || next_fire_ > t) {
+      next_fire_ = t;
+      events_.schedule_at(*this, t);
+    }
+  }
+  bool pacing_active() const {
+    return rate_ != nullptr && rate_->pacing_rate > 0.0;
+  }
+  void arm_pacer(SimTime t) {
+    pace_armed_ = true;
+    pace_deadline_ = t;
+    schedule_wakeup(t);
+  }
   void clamp_cwnd();
   void check_invariants() const;
   // Keep the arena's srtt/rto mirror in sync after an RttEstimator update.
@@ -217,6 +267,19 @@ class Subflow : public net::PacketSink, public EventSource {
   SimTime rto_deadline_ = 0;
   SimTime next_fire_ = kNever;  // earliest pending scheduler wake-up
   int backoff_ = 0;
+
+  // Rate mode (null/false in window mode — every hot-path branch below
+  // stays provably dead, keeping window-mode traces bit-identical).
+  std::uint32_t rate_id_ = 0;
+  RateHot* rate_ = nullptr;     // arena row; owned (released in dtor)
+  DeliveryRateEstimator rate_est_;
+  bool pace_armed_ = false;
+  SimTime pace_deadline_ = 0;
+  SimTime pace_next_send_ = 0;  // earliest time pacing admits the next launch
+
+  // OLIA inter-loss intervals (tracked in every mode; ~free).
+  std::uint64_t acked_since_loss_ = 0;
+  std::uint64_t prev_loss_interval_ = 0;
 
   // Stats.
   std::uint64_t packets_sent_ = 0;

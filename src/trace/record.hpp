@@ -27,6 +27,11 @@
 //   kSubflowDrop a=drop reason (0 = administrative/policy, 1 = declared
 //                dead after repeated RTOs without progress), b=data seqs
 //                handed to the scheduler for sibling reinjection
+//   kRateSample  a=estimator's delivered counter pkts, b=sample was
+//                app-limited (0/1), x=measured delivery rate pkts/s,
+//                y=pacing rate republished by the controller, pkts/s
+//   kPacing      a=pacer deadline ns (burst parked until then),
+//                x=pacing rate gating the launch, pkts/s
 #pragma once
 
 #include <cstdint>
@@ -49,8 +54,10 @@ enum class RecordType : std::uint8_t {
   kFault,      // fault-injection action applied to a target
   kSubflowAdd,   // a subflow joined (or re-joined) a live connection
   kSubflowDrop,  // a subflow was dropped from a live connection
+  kRateSample,   // delivery-rate estimator sample fed to a rate-based CC
+  kPacing,       // the pacer parked a transmission burst until a deadline
 };
-inline constexpr int kRecordTypeCount = 13;
+inline constexpr int kRecordTypeCount = 15;
 
 // Sender phases, as the paper's Fig. 5-style cwnd plots label them.
 enum class TcpPhase : std::uint8_t {
@@ -251,6 +258,37 @@ inline Record subflow_drop(SimTime t, std::uint16_t obj, std::uint32_t flow,
   r.sub = sub;
   r.a = reason;
   r.b = reinjected;
+  return r;
+}
+
+inline Record rate_sample(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                          std::uint32_t sub, double delivery_rate,
+                          double pacing_rate, std::uint64_t delivered,
+                          bool app_limited) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kRateSample;
+  r.obj = obj;
+  r.flow = flow;
+  r.sub = sub;
+  r.a = delivered;
+  r.b = app_limited ? 1 : 0;
+  r.x = delivery_rate;
+  r.y = pacing_rate;
+  return r;
+}
+
+inline Record pacing_wait(SimTime t, std::uint16_t obj, std::uint32_t flow,
+                          std::uint32_t sub, SimTime deadline,
+                          double pacing_rate) {
+  Record r;
+  r.t = t;
+  r.type = RecordType::kPacing;
+  r.obj = obj;
+  r.flow = flow;
+  r.sub = sub;
+  r.a = static_cast<std::uint64_t>(deadline);
+  r.x = pacing_rate;
   return r;
 }
 

@@ -48,6 +48,8 @@ const char* record_type_name(RecordType t) {
     case RecordType::kFault: return "fault";
     case RecordType::kSubflowAdd: return "subflow_add";
     case RecordType::kSubflowDrop: return "subflow_drop";
+    case RecordType::kRateSample: return "rate_sample";
+    case RecordType::kPacing: return "pacing";
   }
   return "unknown";
 }

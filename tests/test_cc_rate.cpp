@@ -1,0 +1,402 @@
+// Unit tests for the rate-based congestion-control subsystem: the OLIA and
+// BALIA window rules (arXiv 1812.03210), the per-subflow delivery-rate
+// estimator, and Coupled BBR's state machine (arXiv 2002.06284).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cc/balia.hpp"
+#include "cc/coupled_bbr.hpp"
+#include "cc/olia.hpp"
+#include "cc/uncoupled.hpp"
+#include "core/arena.hpp"
+#include "core/check.hpp"
+#include "fake_view.hpp"
+#include "tcp/delivery_rate.hpp"
+
+namespace mpsim::cc {
+namespace {
+
+// FakeView plus per-path loss intervals (OLIA's l_r) and RateHot rows
+// (Coupled BBR's state), both defaulting to the plain-view behaviour.
+class RateView : public FakeView {
+ public:
+  using FakeView::FakeView;
+
+  double loss_interval_pkts(std::size_t r) const override {
+    return loss_intervals_.empty() ? FakeView::loss_interval_pkts(r)
+                                   : loss_intervals_[r];
+  }
+  RateHot* rate_state(std::size_t r) const override {
+    return rows_.empty() ? nullptr
+                         : const_cast<RateHot*>(&rows_[r]);
+  }
+  double inflight_pkts(std::size_t r) const override {
+    return inflight_.empty() ? FakeView::inflight_pkts(r) : inflight_[r];
+  }
+
+  void add_rows() { rows_.resize(windows_.size()); }
+
+  std::vector<double> loss_intervals_;
+  std::vector<double> inflight_;
+  std::vector<RateHot> rows_;
+};
+
+// ---------- OLIA ----------
+
+TEST(Olia, SinglePathReducesToRegularTcp) {
+  FakeView v({20.0}, {0.1});
+  // One path: denom = w/rtt, coupled term = 1/w; B == M so alpha = 0.
+  EXPECT_DOUBLE_EQ(olia().increase_per_ack(v, 0),
+                   uncoupled().increase_per_ack(v, 0));
+  EXPECT_DOUBLE_EQ(olia().window_after_loss(v, 0),
+                   uncoupled().window_after_loss(v, 0));
+}
+
+TEST(Olia, SymmetricPathsGetThePureCoupledTerm) {
+  // Equal windows, RTTs, and loss intervals: every path is in both B and M,
+  // so C is empty and alpha vanishes, leaving w_r/rtt_r^2 / denom^2.
+  FakeView v({10.0, 10.0}, {0.1, 0.1});
+  const double denom = 10.0 / 0.1 + 10.0 / 0.1;
+  const double expect = (10.0 / (0.1 * 0.1)) / (denom * denom);
+  EXPECT_DOUBLE_EQ(olia().increase_per_ack(v, 0), expect);
+  EXPECT_DOUBLE_EQ(olia().increase_per_ack(v, 1), expect);
+}
+
+TEST(Olia, CollectedPathGetsBoostAndMaxPathGetsBrake) {
+  // Path 0: small window, best loss interval -> in B \ M (collected).
+  // Path 1: max window, poor loss interval -> in M with C nonempty.
+  RateView v({4.0, 40.0}, {0.1, 0.1});
+  v.loss_intervals_ = {100.0, 10.0};
+  const double denom = 4.0 / 0.1 + 40.0 / 0.1;
+  const double coupled0 = (4.0 / (0.1 * 0.1)) / (denom * denom);
+  const double coupled1 = (40.0 / (0.1 * 0.1)) / (denom * denom);
+  // n = 2, |C| = 1, |M| = 1: alpha_0 = 1/2, alpha_1 = -1/2.
+  EXPECT_DOUBLE_EQ(olia().increase_per_ack(v, 0), coupled0 + 0.5 / 4.0);
+  EXPECT_DOUBLE_EQ(olia().increase_per_ack(v, 1), coupled1 - 0.5 / 40.0);
+}
+
+TEST(Olia, IncreaseBoundedByPaperTheorem) {
+  // The coupled term is <= 1/w_r and |alpha| <= 1/n, so the per-ACK
+  // increase is within (-1/(n w_r), 2/w_r) for every configuration.
+  const double ws[] = {1.0, 3.0, 17.0, 120.0};
+  const double rtts[] = {0.01, 0.08, 0.3};
+  for (double w0 : ws)
+    for (double w1 : ws)
+      for (double r0 : rtts)
+        for (double r1 : rtts) {
+          RateView v({w0, w1}, {r0, r1});
+          v.loss_intervals_ = {w0 * 3.0, w1};
+          for (std::size_t r = 0; r < 2; ++r) {
+            const double inc = olia().increase_per_ack(v, r);
+            const double w = v.cwnd_pkts(r);
+            EXPECT_LT(inc, 2.0 / w + 1e-12);
+            EXPECT_GT(inc, -0.5 / w - 1e-12);
+          }
+        }
+}
+
+TEST(Olia, InactivePathExcludedFromCoupling) {
+  RateView active({10.0, 10.0, 1000.0}, {0.1, 0.1, 0.1});
+  class Dropped : public RateView {
+   public:
+    using RateView::RateView;
+    bool subflow_active(std::size_t r) const override { return r != 2; }
+  } dropped({10.0, 10.0, 1000.0}, {0.1, 0.1, 0.1});
+  FakeView two({10.0, 10.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(olia().increase_per_ack(dropped, 0),
+                   olia().increase_per_ack(two, 0));
+  EXPECT_LT(olia().increase_per_ack(active, 0),
+            olia().increase_per_ack(dropped, 0));
+}
+
+// ---------- BALIA ----------
+
+TEST(Balia, SinglePathReducesToRegularTcp) {
+  FakeView v({20.0}, {0.1});
+  // alpha = 1: inc = (x/(rtt x^2)) * 1 * 1 = 1/w; decrease factor 1/2.
+  EXPECT_DOUBLE_EQ(balia().increase_per_ack(v, 0),
+                   uncoupled().increase_per_ack(v, 0));
+  EXPECT_DOUBLE_EQ(balia().window_after_loss(v, 0),
+                   uncoupled().window_after_loss(v, 0));
+}
+
+TEST(Balia, SymmetricPathsSplitTheAggressiveness) {
+  // Equal rates: alpha = 1, inc = 1/(4 w) per path — a quarter of Reno's,
+  // twice-coupled like the paper's COUPLED at equilibrium.
+  FakeView v({10.0, 10.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(balia().increase_per_ack(v, 0), 1.0 / 40.0);
+  EXPECT_DOUBLE_EQ(balia().window_after_loss(v, 0), 5.0);
+}
+
+TEST(Balia, IncreaseBoundedByDesignTheorem) {
+  // (1+a)(4+a)/(10 a^2) <= 1 for a >= 1 ==> inc <= 1/w_r everywhere.
+  const double ws[] = {1.0, 2.0, 9.0, 64.0, 500.0};
+  const double rtts[] = {0.005, 0.05, 0.4};
+  for (double w0 : ws)
+    for (double w1 : ws)
+      for (double r0 : rtts)
+        for (double r1 : rtts) {
+          FakeView v({w0, w1}, {r0, r1});
+          for (std::size_t r = 0; r < 2; ++r) {
+            const double inc = balia().increase_per_ack(v, r);
+            EXPECT_GT(inc, 0.0);
+            EXPECT_LE(inc, 1.0 / v.cwnd_pkts(r) + 1e-12);
+          }
+        }
+}
+
+TEST(Balia, SlowerPathBacksOffHarder) {
+  // Path 1 is 4x slower (alpha = 4, capped at 1.5): decrease factor 3/4.
+  FakeView v({40.0, 10.0}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(balia().window_after_loss(v, 0), 20.0);  // alpha=1 -> 1/2
+  EXPECT_DOUBLE_EQ(balia().window_after_loss(v, 1), 2.5);   // capped -> 3/4
+}
+
+// ---------- DeliveryRateEstimator ----------
+
+TEST(DeliveryRateEstimator, ComputesRateOverTheSampleInterval) {
+  tcp::DeliveryRateEstimator est;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    est.on_send(i, from_ms(i), /*is_retransmit=*/false);
+  }
+  DeliveryRateSample s;
+  // Cum-ACK 5 at t=100ms. The newest retired packet was sent at 4ms; the
+  // delivery clock started at 0ms (first send of an idle pipe), so the
+  // rate averages 5 pkts over the full 100ms delivery interval while the
+  // RTT is the packet's own 96ms round trip.
+  ASSERT_TRUE(est.on_ack(5, from_ms(100), s));
+  EXPECT_EQ(est.delivered_pkts(), 5u);
+  EXPECT_EQ(s.delivered_pkts, 5u);
+  EXPECT_EQ(s.acked_pkts, 5u);
+  EXPECT_DOUBLE_EQ(s.delivery_rate, 5.0 / 0.100);
+  EXPECT_DOUBLE_EQ(s.rtt_sec, 0.096);
+  EXPECT_TRUE(s.round_start);
+}
+
+TEST(DeliveryRateEstimator, DeliveredCounterIsMonotone) {
+  tcp::DeliveryRateEstimator est;
+  DeliveryRateSample s;
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    est.on_send(i, from_ms(2 * i), false);
+    if (i % 3 == 2) {
+      ASSERT_TRUE(est.on_ack(i + 1, from_ms(2 * i + 40), s));
+      EXPECT_GT(est.delivered_pkts(), prev);
+      prev = est.delivered_pkts();
+    }
+  }
+  EXPECT_EQ(est.delivered_pkts(), 48u);
+}
+
+TEST(DeliveryRateEstimator, RetransmitSamplesAreDiscardedKarnStyle) {
+  tcp::DeliveryRateEstimator est;
+  est.on_send(0, from_ms(0), false);
+  est.on_send(0, from_ms(30), false);  // resend of the same sequence
+  DeliveryRateSample s;
+  // The ACK's timing is ambiguous (original or resend?) — no sample.
+  EXPECT_FALSE(est.on_ack(1, from_ms(50), s));
+  EXPECT_EQ(est.delivered_pkts(), 1u);  // delivery still counts
+}
+
+TEST(DeliveryRateEstimator, HoleFillingJumpCannotInflateTheRate) {
+  tcp::DeliveryRateEstimator est;
+  // Packet 0 is lost; 1..9 park behind the hole at the receiver.
+  for (std::uint64_t i = 0; i < 10; ++i) est.on_send(i, from_ms(i), false);
+  // More data launched while the hole stalls the cumulative ACK.
+  for (std::uint64_t i = 10; i < 20; ++i) {
+    est.on_send(i, from_ms(180 + i), false);
+  }
+  est.on_send(0, from_ms(200), true);  // the retransmit that fills the hole
+  // The fill releases all 20 packets at once. The sample must average them
+  // over the 240ms the delivery clock has been running — crediting them
+  // against the newest packet's 41ms round trip would fabricate a rate
+  // several times what the path carried.
+  DeliveryRateSample s;
+  ASSERT_TRUE(est.on_ack(20, from_ms(240), s));
+  EXPECT_EQ(s.acked_pkts, 20u);
+  EXPECT_DOUBLE_EQ(s.delivery_rate, 20.0 / 0.240);
+  EXPECT_DOUBLE_EQ(s.rtt_sec, 0.041);
+}
+
+TEST(DeliveryRateEstimator, AppLimitedMarksUntilInflightDrains) {
+  tcp::DeliveryRateEstimator est;
+  est.on_send(0, from_ms(0), false);
+  est.on_send(1, from_ms(1), false);
+  est.on_app_limited(/*inflight_pkts=*/2);
+  EXPECT_TRUE(est.app_limited());
+  est.on_send(2, from_ms(2), false);  // launched while app-limited
+  DeliveryRateSample s;
+  ASSERT_TRUE(est.on_ack(2, from_ms(40), s));
+  EXPECT_FALSE(s.app_limited);  // sent before the app ran dry
+  ASSERT_TRUE(est.on_ack(3, from_ms(42), s));
+  EXPECT_TRUE(s.app_limited);   // sent during the app-limited phase
+  est.on_send(3, from_ms(50), false);
+  ASSERT_TRUE(est.on_ack(4, from_ms(90), s));
+  EXPECT_FALSE(s.app_limited);  // phase over once marked inflight drained
+}
+
+TEST(DeliveryRateEstimator, OutOfOrderSendTripsTheCheck) {
+  if (!checks_enabled()) {
+    GTEST_SKIP() << "requires MPSIM_CHECK (MPSIM_CHECKS=off lane)";
+  }
+  ScopedThrowingChecks throwing;
+  tcp::DeliveryRateEstimator est;
+  est.on_send(0, from_ms(0), false);
+  // Skipping sequence 1 would desynchronise the board from the stream.
+  EXPECT_THROW(est.on_send(2, from_ms(1), false), CheckFailureError);
+}
+
+TEST(DeliveryRateEstimator, RoundsAdvanceOncePerDeliveredWindow) {
+  tcp::DeliveryRateEstimator est;
+  DeliveryRateSample s;
+  // Window of 4: packets 0-3 are round 0; packets sent after the first
+  // delivery of that round start the next round.
+  for (std::uint64_t i = 0; i < 4; ++i) est.on_send(i, from_ms(i), false);
+  ASSERT_TRUE(est.on_ack(4, from_ms(20), s));
+  EXPECT_TRUE(s.round_start);
+  for (std::uint64_t i = 4; i < 8; ++i) est.on_send(i, from_ms(21 + i), false);
+  ASSERT_TRUE(est.on_ack(6, from_ms(45), s));
+  EXPECT_TRUE(s.round_start);  // first delivery of the new round
+  ASSERT_TRUE(est.on_ack(8, from_ms(47), s));
+  EXPECT_FALSE(s.round_start);  // same round as the previous ACK
+}
+
+// ---------- Coupled BBR ----------
+
+DeliveryRateSample sample(double rate, double rtt, double now,
+                          std::uint64_t delivered, bool round_start,
+                          bool app_limited = false) {
+  DeliveryRateSample s;
+  s.delivery_rate = rate;
+  s.rtt_sec = rtt;
+  s.now_sec = now;
+  s.delivered_pkts = delivered;
+  s.acked_pkts = 1;
+  s.app_limited = app_limited;
+  s.round_start = round_start;
+  return s;
+}
+
+TEST(CoupledBbr, AdvertisesTheRateBasedSurface) {
+  EXPECT_TRUE(coupled_bbr().rate_based());
+  EXPECT_FALSE(olia().rate_based());
+  EXPECT_FALSE(balia().rate_based());
+  RateView v({10.0}, {0.1});
+  EXPECT_DOUBLE_EQ(coupled_bbr().increase_per_ack(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(coupled_bbr().window_after_loss(v, 0), 10.0);
+}
+
+TEST(CoupledBbr, PacingRateIsPositiveFromTheVeryFirstSample) {
+  RateView v({10.0}, {0.1});
+  v.add_rows();
+  // Before any sample: ACK-clock fallback.
+  EXPECT_GT(coupled_bbr().pacing_rate(v, 0), 0.0);
+  // Even an all-app-limited, zero-rate sample must leave pacing_rate > 0.
+  coupled_bbr().on_ack_sample(v, 0, sample(0.0, 0.1, 0.1, 1, true, true));
+  EXPECT_GT(v.rows_[0].pacing_rate, 0.0);
+}
+
+TEST(CoupledBbr, StartupExitsAfterThreeFlatRounds) {
+  RateView v({100.0}, {0.1});
+  v.add_rows();
+  v.inflight_ = {100.0};
+  double now = 0.0;
+  std::uint64_t delivered = 0;
+  // Growing bandwidth: stays in STARTUP at high gain.
+  for (double bw : {100.0, 150.0, 225.0}) {
+    coupled_bbr().on_ack_sample(v, 0, sample(bw, 0.1, now += 0.1,
+                                             delivered += 10, true));
+    EXPECT_EQ(v.rows_[0].mode, 0u);  // STARTUP
+    EXPECT_DOUBLE_EQ(v.rows_[0].pacing_gain, 2.885);
+  }
+  // Plateau: three rounds without 1.25x growth -> DRAIN below unit gain.
+  for (int i = 0; i < 3; ++i) {
+    coupled_bbr().on_ack_sample(v, 0, sample(230.0, 0.1, now += 0.1,
+                                             delivered += 10, true));
+  }
+  EXPECT_EQ(v.rows_[0].mode, 1u);  // DRAIN
+  EXPECT_LT(v.rows_[0].pacing_gain, 1.0);
+
+  // Inflight at/below the BDP -> PROBE_BW.
+  v.inflight_ = {1.0};
+  coupled_bbr().on_ack_sample(v, 0, sample(230.0, 0.1, now += 0.1,
+                                           delivered += 10, false));
+  EXPECT_EQ(v.rows_[0].mode, 2u);  // PROBE_BW
+}
+
+TEST(CoupledBbr, LossInStartupExitsToDrainAndSlowsThePacer) {
+  RateView v({20.0}, {0.1});
+  v.add_rows();
+  v.inflight_ = {20.0};
+  coupled_bbr().on_ack_sample(v, 0, sample(100.0, 0.1, 0.1, 1, true));
+  ASSERT_EQ(v.rows_[0].mode, 0u);  // still STARTUP
+  const double startup_rate = v.rows_[0].pacing_rate;
+  // Loss during STARTUP: without SACK the overshoot repairs via Karn-
+  // ambiguous resends that produce no samples, so the loss itself must be
+  // the "pipe full" signal — flip to DRAIN and republish the pacer at the
+  // drain gain immediately, keeping the model window.
+  EXPECT_DOUBLE_EQ(coupled_bbr().window_after_loss(v, 0), 20.0);
+  EXPECT_EQ(v.rows_[0].mode, 1u);  // DRAIN
+  EXPECT_LT(v.rows_[0].pacing_rate, startup_rate);
+  EXPECT_NEAR(v.rows_[0].pacing_rate, 100.0 / 2.885, 1e-9);
+  // Further losses outside STARTUP change nothing.
+  EXPECT_DOUBLE_EQ(coupled_bbr().window_after_loss(v, 0), 20.0);
+  EXPECT_EQ(v.rows_[0].mode, 1u);
+  EXPECT_NEAR(v.rows_[0].pacing_rate, 100.0 / 2.885, 1e-9);
+}
+
+TEST(CoupledBbr, ProbeGainIsScaledByBandwidthShare) {
+  // Two subflows in PROBE_BW at the probing phase: the probe overshoot
+  // 0.25 is split in proportion to each path's share of total bandwidth.
+  RateView v({10.0, 10.0}, {0.1, 0.1});
+  v.add_rows();
+  for (std::size_t r = 0; r < 2; ++r) {
+    v.rows_[r].mode = 2;
+    v.rows_[r].cycle_index = 0;  // gain 1.25 phase
+    v.rows_[r].min_rtt_sec = 0.1;
+  }
+  v.rows_[0].btl_bw = v.rows_[0].bw_filter[0] = 300.0;
+  v.rows_[1].btl_bw = v.rows_[1].bw_filter[0] = 100.0;
+  coupled_bbr().on_ack_sample(v, 0, sample(300.0, 0.1, 0.05, 1, false));
+  coupled_bbr().on_ack_sample(v, 1, sample(100.0, 0.1, 0.05, 1, false));
+  EXPECT_DOUBLE_EQ(v.rows_[0].pacing_gain, 1.0 + 0.25 * 0.75);
+  EXPECT_DOUBLE_EQ(v.rows_[1].pacing_gain, 1.0 + 0.25 * 0.25);
+  // Combined probing overshoot never exceeds one single-path BBR flow's
+  // 0.25 * total overshoot (it equals it only when one path carries all
+  // the bandwidth).
+  const double overshoot = (v.rows_[0].pacing_rate - v.rows_[0].btl_bw) +
+                           (v.rows_[1].pacing_rate - v.rows_[1].btl_bw);
+  EXPECT_DOUBLE_EQ(overshoot, 0.25 * (0.75 * 300.0 + 0.25 * 100.0));
+  EXPECT_LT(overshoot, 0.25 * 400.0);
+}
+
+TEST(CoupledBbr, TargetWindowTracksGainTimesBdp) {
+  RateView v({10.0}, {0.1});
+  v.add_rows();
+  EXPECT_DOUBLE_EQ(coupled_bbr().target_cwnd_pkts(v, 0), 10.0);  // no estimate
+  v.rows_[0].btl_bw = 200.0;
+  v.rows_[0].min_rtt_sec = 0.05;
+  v.rows_[0].cwnd_gain = 2.0;
+  EXPECT_DOUBLE_EQ(coupled_bbr().target_cwnd_pkts(v, 0), 2.0 * 200.0 * 0.05);
+  // The floor keeps the estimator fed even on tiny BDPs.
+  v.rows_[0].btl_bw = 1.0;
+  EXPECT_DOUBLE_EQ(coupled_bbr().target_cwnd_pkts(v, 0), 4.0);
+}
+
+TEST(CoupledBbr, NonMonotoneDeliveredCounterTripsTheCheck) {
+  if (!checks_enabled()) {
+    GTEST_SKIP() << "requires MPSIM_CHECK (MPSIM_CHECKS=off lane)";
+  }
+  ScopedThrowingChecks throwing;
+  RateView v({10.0}, {0.1});
+  v.add_rows();
+  coupled_bbr().on_ack_sample(v, 0, sample(100.0, 0.1, 0.1, 10, true));
+  EXPECT_THROW(
+      coupled_bbr().on_ack_sample(v, 0, sample(100.0, 0.1, 0.2, 5, false)),
+      CheckFailureError);
+}
+
+}  // namespace
+}  // namespace mpsim::cc

@@ -6,9 +6,12 @@
 
 #include <tuple>
 
+#include "cc/balia.hpp"
 #include "cc/coupled.hpp"
+#include "cc/coupled_bbr.hpp"
 #include "cc/ewtcp.hpp"
 #include "cc/mptcp_lia.hpp"
+#include "cc/olia.hpp"
 #include "cc/rfc6356.hpp"
 #include "cc/semicoupled.hpp"
 #include "cc/uncoupled.hpp"
@@ -298,7 +301,10 @@ INSTANTIATE_TEST_SUITE_P(
                           MatrixAlgo{"semicoupled", &cc::semicoupled()},
                           MatrixAlgo{"coupled", &cc::coupled()},
                           MatrixAlgo{"mptcp", &cc::mptcp_lia()},
-                          MatrixAlgo{"rfc6356", &cc::rfc6356()}),
+                          MatrixAlgo{"rfc6356", &cc::rfc6356()},
+                          MatrixAlgo{"olia", &cc::olia()},
+                          MatrixAlgo{"balia", &cc::balia()},
+                          MatrixAlgo{"coupled_bbr", &cc::coupled_bbr()}),
         ::testing::Values(FaultKind::kSlowStartOutage, FaultKind::kFlapTrain,
                           FaultKind::kLossBurst, FaultKind::kPathDeath)),
     [](const ::testing::TestParamInfo<std::tuple<MatrixAlgo, FaultKind>>&

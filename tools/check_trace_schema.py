@@ -31,7 +31,7 @@ NUM_COLS = 10
 RECORD_TYPES = {
     "cwnd", "state", "queue", "queue_drop", "link_drop",
     "rate", "data_ack", "rcv_buf", "reinject", "goodput", "fault",
-    "subflow_add", "subflow_drop",
+    "subflow_add", "subflow_drop", "rate_sample", "pacing",
 }
 MAX_PHASE = 3  # TcpPhase::kRtoRecovery
 

@@ -33,8 +33,8 @@ int usage() {
                "  run       execute every run in each spec's sweep x seed "
                "grid\n"
                "  validate  dry-build every grid point; no simulated time\n"
-               "  list      print registered topology/algorithm/traffic "
-               "kinds\n"
+               "  list      print registered topology/algorithm/traffic/"
+               "scheduler kinds\n"
                "\n"
                "options:\n"
                "  --threads=N     worker threads (default MPSIM_THREADS, "
@@ -144,7 +144,8 @@ int cmd_list() {
   print("topologies", reg.topology_names());
   print("algorithms", reg.algorithm_names());
   print("traffic", reg.traffic_names());
-  std::printf("schedulers (MPSIM_SCHEDULER=adaptive|wheel|heap):\n");
+  print("data schedulers ([scheduler] kind=...)", reg.scheduler_names());
+  std::printf("event schedulers (MPSIM_SCHEDULER=adaptive|wheel|heap):\n");
   std::printf("  %-12s %s\n", "adaptive",
               "heap while sparse, timing wheel while dense (default)");
   std::printf("  %-12s %s\n", "wheel", "hierarchical timing wheel");

@@ -30,10 +30,12 @@ from collections import defaultdict, deque
 # overrides cannot be resolved by receiver type at this fidelity, so every
 # override of these interface hooks is a root).
 ROOT_NAMES = {
-    "on_event",            # EventSource wake-up
+    "on_event",            # EventSource wake-up (incl. Subflow pacer fires)
     "receive",             # PacketSink delivery
     "increase_per_ack",    # CongestionControl per-ACK increase rule
     "window_after_loss",   # CongestionControl loss-response rule
+    "on_ack_sample",       # rate-based CC delivery-sample hook
+    "next_data",           # DataScheduler placement decision per launch
 }
 
 # Specific (class, method) roots: the dispatch loop and schedule hot path,
