@@ -39,7 +39,7 @@ using namespace mpsim;
 class NopSource : public EventSource {
  public:
   NopSource(EventList& events, SimTime period)
-      : EventSource("nop"), events_(events), period_(period) {}
+      : EventSource(events, "nop"), events_(events), period_(period) {}
   void on_event() override { events_.schedule_in(*this, period_); }
 
  private:

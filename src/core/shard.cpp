@@ -1,0 +1,149 @@
+#include "core/shard.hpp"
+
+#include <thread>
+
+#include "core/check.hpp"
+#include "core/env.hpp"
+
+namespace mpsim {
+
+ShardGroup::Exec ShardGroup::default_exec() {
+  static const Exec exec =
+      env::env_choice("MPSIM_SHARD_EXEC", "threads", {"threads", "inline"}) ==
+              "inline"
+          ? Exec::kInline
+          : Exec::kThreads;
+  return exec;
+}
+
+ShardGroup::ShardGroup(int shards, SchedulerKind kind)
+    : exec_(default_exec()) {
+  MPSIM_CHECK(shards >= 1, "a shard group needs at least one shard");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  drains_.resize(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<EventList>(kind));
+    shards_.back()->share_id_counters(&order_counter_, &flow_counter_);
+  }
+  barrier_ = std::make_unique<Barrier>(shards);
+}
+
+void ShardGroup::note_lookahead(SimTime link_delay) {
+  MPSIM_CHECK(link_delay > 0,
+              "cross-shard links need positive propagation delay");
+  if (link_delay < lookahead_) lookahead_ = link_delay;
+}
+
+void ShardGroup::register_drain(int dest, std::function<void()> fn) {
+  drains_[static_cast<std::size_t>(dest)].push_back(std::move(fn));
+}
+
+void ShardGroup::set_phase_hooks(std::function<void()> begin,
+                                 std::function<void()> end) {
+  begin_hook_ = std::move(begin);
+  end_hook_ = std::move(end);
+}
+
+std::uint64_t ShardGroup::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->events_processed();
+  return total;
+}
+
+void ShardGroup::compute_window(SimTime t) {
+  SimTime m = kNever;
+  for (const auto& s : shards_) {
+    const SimTime next = s->next_event_time();
+    if (next < m) m = next;
+  }
+  if (m == kNever || m > t) {
+    // Nothing pending inside this run: one final window just advances
+    // every shard clock to t.
+    window_ = t;
+    final_ = true;
+    return;
+  }
+  // The window is final when m + lookahead_ > t, written overflow-safely
+  // (t - m >= 0 here; lookahead_ may be kNever when no cross-shard edge
+  // exists, in which case every run is a single window — the sequential
+  // degenerate case).
+  final_ = lookahead_ > t - m;
+  window_ = final_ ? t : m + lookahead_ - 1;
+}
+
+void ShardGroup::step_window(SimTime t) {
+  if (final_) {
+    // All events <= t have executed, and anything the final window shipped
+    // cross-shard delivers at >= m + lookahead_ > t, so the post-window
+    // drains only scheduled future work. The run is complete.
+    done_ = true;
+  } else {
+    compute_window(t);
+  }
+}
+
+void ShardGroup::worker(int i, SimTime t) {
+  EventList& el = *shards_[static_cast<std::size_t>(i)];
+  auto& drains = drains_[static_cast<std::size_t>(i)];
+  for (;;) {
+    // Execute phase: this thread exclusively owns shard i's EventList and
+    // every element placed on it; cross-shard packets go out by appending
+    // to foreign mailboxes nobody reads until the next drain phase.
+    el.set_horizon(window_);
+    el.run_until(window_);
+    barrier_->arrive_and_wait([] {});
+    // Drain phase: ingest what other shards shipped during the window.
+    // Every producer is parked at the barrier above, so plain vectors are
+    // race-free; drains only schedule into shard i's own EventList.
+    for (auto& fn : drains) fn();
+    barrier_->arrive_and_wait([this, t] { step_window(t); });
+    if (done_) break;
+  }
+}
+
+void ShardGroup::run_windows_threads(SimTime t) {
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size() - 1);
+  for (int i = 1; i < size(); ++i) {
+    workers.emplace_back(&ShardGroup::worker, this, i, t);
+  }
+  worker(0, t);
+  for (auto& w : workers) w.join();
+}
+
+void ShardGroup::run_windows_inline(SimTime t) {
+  // The identical window algorithm, round-robin on one thread. Equivalent
+  // to the threaded form: within a window, shards only append to foreign
+  // mailboxes, which are not read until every shard's window has run.
+  while (!done_) {
+    for (const auto& s : shards_) {
+      s->set_horizon(window_);
+      s->run_until(window_);
+    }
+    for (auto& per_shard : drains_) {
+      for (auto& fn : per_shard) fn();
+    }
+    step_window(t);
+  }
+}
+
+void ShardGroup::run_until(SimTime t) {
+  if (!multi()) {
+    shards_[0]->run_until(t);
+    return;
+  }
+  if (begin_hook_) begin_hook_();
+  done_ = false;
+  compute_window(t);
+  if (exec_ == Exec::kThreads) {
+    run_windows_threads(t);
+  } else {
+    run_windows_inline(t);
+  }
+  // Lift the causality horizons so single-threaded phases between runs
+  // (stats resets, construction of samplers) may schedule and run freely.
+  for (const auto& s : shards_) s->set_horizon(kNever);
+  if (end_hook_) end_hook_();
+}
+
+}  // namespace mpsim

@@ -1,0 +1,163 @@
+// Conservative parallel-DES: one simulation partitioned across N shards.
+//
+// A ShardGroup owns N EventLists (shards). Topology builders place every
+// element (queue, pipe, host, subflow) on exactly one shard; packets that
+// must move between shards go through net::BoundarySink mailboxes, never by
+// direct cross-shard calls. Execution advances in *windows* derived from
+// the minimum cross-shard propagation delay L (the lookahead):
+//
+//     m = min over shards of next pending event time   (mailboxes empty)
+//     W = m + L - 1   (or the run bound t, whichever is smaller)
+//
+// Every shard may execute all events with time <= W: any packet another
+// shard emits at time >= m reaches a foreign shard no earlier than m + L,
+// strictly after the window. Windows are separated by a full barrier, after
+// which each shard drains its inbound mailboxes on its own thread — so a
+// mailbox is only ever written during execute phases (by its single
+// producer shard) and only read during drain phases (by its single consumer
+// shard), with the barrier ordering the two. No null messages, no locks on
+// the packet path, and no thread ever touches another shard's EventList.
+//
+// Determinism: shards dispatch by the same canonical (source order id,
+// per-source seq) keys a sequential run would use (see event_list.hpp), and
+// the window protocol never lets an event execute before anything that
+// could causally affect it — so a sharded run performs exactly the
+// sequential event sequence, merely interleaved across threads in ways that
+// cannot be observed. The determinism-oracle suite (test_parallel_des)
+// holds this to byte-identical trace output at 1/2/4 shards.
+//
+// Causality is checked, not assumed: before each window every shard's
+// horizon is set to W, and EventList dispatch MPSIM_CHECKs that no event
+// ever runs past it (a shard outrunning its lookahead is an invariant
+// violation, not a silent reorder).
+//
+// MPSIM_SHARD_EXEC=threads|inline selects real worker threads (default) or
+// a single-threaded round-robin of the identical window algorithm — the
+// two are equivalent because execute phases only append to foreign
+// mailboxes, which nothing reads until the following drain phase. Inline
+// mode exists for tests that need thread-local state (throwing checks) and
+// for debugging under a deterministic single stack.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/event_list.hpp"
+#include "core/time.hpp"
+
+namespace mpsim {
+
+class ShardGroup {
+ public:
+  enum class Exec {
+    kThreads,  // one worker thread per shard
+    kInline,   // same window algorithm, single-threaded round-robin
+  };
+
+  ShardGroup(int shards, SchedulerKind kind);
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int size() const { return static_cast<int>(shards_.size()); }
+  bool multi() const { return shards_.size() > 1; }
+  EventList& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+
+  // Record one cross-shard edge's propagation delay; the lookahead is the
+  // minimum over all of them. Zero-delay cross-shard edges are rejected —
+  // they would force zero-width windows (no conservative progress).
+  void note_lookahead(SimTime link_delay);
+  SimTime lookahead() const { return lookahead_; }
+
+  // Register `fn` to drain one inbound mailbox of shard `dest`. Callbacks
+  // run after each window barrier on the thread that owns `dest` (or the
+  // main thread in inline mode) and must only touch `dest`'s state.
+  void register_drain(int dest, std::function<void()> fn);
+
+  // Hooks bracketing the parallel section of each run_until, run on the
+  // calling thread (trace recorders flip to private sequence counters
+  // while worker threads are live; see trace::TraceRecorder).
+  void set_phase_hooks(std::function<void()> begin, std::function<void()> end);
+
+  // Advance every shard to exactly time t, processing all events <= t —
+  // the sharded equivalent of EventList::run_until. On return all shard
+  // clocks read t, every mailbox is empty, and only events later than t
+  // remain pending.
+  void run_until(SimTime t);
+
+  // Events dispatched across all shards (the sequential-equivalent count).
+  std::uint64_t events_processed() const;
+
+  // Per-simulation id counters shared by every shard (EventSource order
+  // ids, connection flow ids): construction yields identical ids whatever
+  // the shard count. Wired into each shard at group construction.
+  std::uint32_t* order_counter() { return &order_counter_; }
+  std::uint32_t* flow_counter() { return &flow_counter_; }
+
+  Exec exec_mode() const { return exec_; }
+  // What MPSIM_SHARD_EXEC resolves to ("threads" default).
+  static Exec default_exec();
+  // Test hook: override the process-wide MPSIM_SHARD_EXEC default for this
+  // group (the equivalence suite runs both modes in one process). Only
+  // meaningful between runs — never call while run_until is live.
+  void set_exec_for_test(Exec e) { exec_ = e; }
+
+ private:
+  // Mutex/condvar barrier; the last arriver runs `on_last` while every
+  // other participant is parked on the condvar, so whatever it writes is
+  // published to all of them by the release.
+  class Barrier {
+   public:
+    explicit Barrier(int n) : n_(n), count_(n) {}
+    template <typename F>
+    void arrive_and_wait(F&& on_last) {
+      std::unique_lock<std::mutex> lk(m_);
+      if (--count_ == 0) {
+        on_last();
+        count_ = n_;
+        ++gen_;
+        cv_.notify_all();
+      } else {
+        const std::uint64_t g = gen_;
+        cv_.wait(lk, [&] { return gen_ != g; });
+      }
+    }
+
+   private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    int n_;
+    int count_;
+    std::uint64_t gen_ = 0;
+  };
+
+  // Compute the next window upper bound into window_/final_. Requires all
+  // mailboxes empty (so next_event_time() is the true frontier).
+  void compute_window(SimTime t);
+  // Barrier-completion step after a window's drains: finish or open the
+  // next window.
+  void step_window(SimTime t);
+  // One worker's half of the threaded loop (shard i on this thread).
+  void worker(int i, SimTime t);
+  void run_windows_inline(SimTime t);
+  void run_windows_threads(SimTime t);
+
+  std::vector<std::unique_ptr<EventList>> shards_;
+  std::vector<std::vector<std::function<void()>>> drains_;
+  std::function<void()> begin_hook_;
+  std::function<void()> end_hook_;
+  std::unique_ptr<Barrier> barrier_;
+  SimTime lookahead_ = kNever;  // min cross-shard delay; kNever = no edges
+  SimTime window_ = 0;          // current window upper bound (inclusive)
+  bool final_ = false;          // window_ == t: last window of this run
+  bool done_ = false;
+  Exec exec_;
+  std::uint32_t order_counter_ = 1;  // 0 is reserved ("no source")
+  std::uint32_t flow_counter_ = 1;
+};
+
+}  // namespace mpsim

@@ -142,9 +142,15 @@ bool TimingWheel::pop_if_before(SimTime limit, Entry& out) {
       Level& l0 = levels_[0];
       Slot& s = l0.slots[static_cast<std::size_t>(idx)];
       if (!s.sorted) {
-        MPSIM_CHECK(s.head == 0, "unsorted slot must not be mid-drain");
-        if (s.entries.size() > 1) {
-          std::sort(s.entries.begin(), s.entries.end(),
+        // Only the pending suffix [head, end) may be reordered; [0, head)
+        // was already dispatched. A mid-drain slot can become unsorted
+        // under canonical keys: a source dispatching at this very tick may
+        // schedule another same-tick event whose (order id, seq) key is
+        // smaller than a pending entry's — exactly the case where the heap
+        // backend would pop the newcomer first, so the re-sort here is what
+        // keeps the two backends dispatch-identical.
+        if (s.entries.size() - s.head > 1) {
+          std::sort(s.entries.begin() + s.head, s.entries.end(),
                     [](const Entry& a, const Entry& b) {
                       return a.seq < b.seq;
                     });

@@ -9,12 +9,12 @@
 // lifetime), and finding the next occupied slot is a bitmap scan.
 //
 // Determinism contract (identical to the binary-heap backend): events
-// dispatch in (time, seq) order, where seq is the EventList's global
-// schedule counter — i.e. FIFO among equal timestamps. Cascading can land
-// entries in a level-0 slot out of seq order, so a slot is sorted by seq
-// once, lazily, when dispatch first reaches it; appends after that point
-// (new events scheduled for the tick being dispatched) always carry the
-// globally largest seq and keep the slot sorted.
+// dispatch in (time, seq) order, where seq is the EventList's canonical
+// (source order id, per-source counter) key. Cascading — and the canonical
+// keys themselves, which are not globally monotone across sources — can
+// land entries in a level-0 slot out of seq order, so a slot is sorted by
+// seq lazily when dispatch first reaches it and re-sorted if a smaller key
+// arrives afterwards.
 #pragma once
 
 #include <array>

@@ -138,7 +138,7 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
 FaultInjector::FaultInjector(EventList& events, const TargetRegistry& targets,
                              FaultPlan plan, std::uint64_t run_seed,
                              RecoveryMonitor* monitor)
-    : EventSource("fault/injector"), events_(events), monitor_(monitor) {
+    : EventSource(events, "fault/injector"), events_(events), monitor_(monitor) {
   auto resolve = [&targets](const std::string& name) {
     const Target* t = targets.find(name);
     MPSIM_CHECK(t != nullptr, "fault plan names an unregistered target");
@@ -374,7 +374,7 @@ void FaultInjector::apply(const Step& s) {
 }
 
 RecoveryMonitor::RecoveryMonitor(EventList& events, SimTime poll_interval)
-    : EventSource("fault/recovery"),
+    : EventSource(events, "fault/recovery"),
       events_(events),
       poll_interval_(std::max<SimTime>(1, poll_interval)) {
   tracked_from_ = events_.now();

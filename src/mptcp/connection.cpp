@@ -13,7 +13,7 @@ namespace mpsim::mptcp {
 MptcpConnection::MptcpConnection(EventList& events, std::string name,
                                  const cc::CongestionControl& cc,
                                  ConnectionConfig cfg)
-    : EventSource(std::move(name)),
+    : EventSource(events, std::move(name)),
       events_(events),
       cc_(cc),
       cfg_(cfg),

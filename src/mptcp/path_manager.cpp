@@ -9,7 +9,7 @@ namespace mpsim::mptcp {
 
 PathManager::PathManager(EventList& events, MptcpConnection& conn,
                          const PathManagerConfig& cfg)
-    : EventSource(conn.name() + "/pm"),
+    : EventSource(events, conn.name() + "/pm"),
       events_(events),
       conn_(conn),
       cfg_(cfg) {

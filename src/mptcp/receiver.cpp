@@ -8,7 +8,7 @@ namespace mpsim::mptcp {
 
 MptcpReceiver::MptcpReceiver(EventList& events, std::string name,
                              std::uint32_t flow_id, std::uint64_t buffer_pkts)
-    : EventSource(std::move(name)),
+    : EventSource(events, std::move(name)),
       events_(events),
       flow_id_(flow_id),
       capacity_(buffer_pkts) {

@@ -1,0 +1,79 @@
+#include "net/boundary.hpp"
+
+#include "core/check.hpp"
+
+namespace mpsim::net {
+
+BoundarySink::BoundarySink(std::string name, EventList& src_events, Pipe& pipe)
+    : name_(std::move(name)), src_events_(src_events), pipe_(pipe) {}
+
+BoundarySink::BoundarySink(std::string name, EventList& src_events, Pipe& pipe,
+                           ShardGroup& group, int dst_shard)
+    : name_(std::move(name)),
+      src_events_(src_events),
+      pipe_(pipe),
+      dst_events_(&pipe.events()),
+      cross_(true) {
+  group.note_lookahead(pipe.delay());
+  group.register_drain(dst_shard, [this] { drain(); });
+}
+
+void BoundarySink::receive(Packet& pkt) {
+  if (!cross_) {
+    // Same shard: the boundary is transparent — the packet enters the wire
+    // now, exactly as if the queue fed the pipe directly.
+    pipe_.receive_shipped(pkt, src_events_.now());
+    return;
+  }
+  ShippedPacket s;
+  s.send_time = src_events_.now();
+  s.route = pkt.route();
+  s.next_hop = pkt.next_hop();
+  s.type = pkt.type;
+  s.flow_id = pkt.flow_id;
+  s.subflow_id = pkt.subflow_id;
+  s.subflow_seq = pkt.subflow_seq;
+  s.data_seq = pkt.data_seq;
+  s.subflow_cum_ack = pkt.subflow_cum_ack;
+  s.data_cum_ack = pkt.data_cum_ack;
+  s.rcv_window = pkt.rcv_window;
+  s.is_window_update = pkt.is_window_update;
+  s.size_bytes = pkt.size_bytes;
+  s.ts_echo = pkt.ts_echo;
+  s.is_retransmit = pkt.is_retransmit;
+  // The ledger stays home-shard-only (see the header comment): drop the
+  // pointer before release so the counter is never touched off-thread.
+  pkt.wire_refs = nullptr;
+  pkt.release();
+  // Amortized like any packet list: the mailbox keeps its capacity across
+  // windows, so steady state appends without allocating.
+  // mpsim-analyze: allow(hot-alloc)
+  mailbox_.push_back(s);
+}
+
+void BoundarySink::drain() {
+  for (const ShippedPacket& s : mailbox_) {
+    MPSIM_CHECK(s.send_time != kNever,
+                "mailbox entry crossed shards without a (time, seq) stamp");
+    Packet& pkt = Packet::alloc(*dst_events_);
+    pkt.type = s.type;
+    pkt.flow_id = s.flow_id;
+    pkt.subflow_id = s.subflow_id;
+    pkt.subflow_seq = s.subflow_seq;
+    pkt.data_seq = s.data_seq;
+    pkt.subflow_cum_ack = s.subflow_cum_ack;
+    pkt.data_cum_ack = s.data_cum_ack;
+    pkt.rcv_window = s.rcv_window;
+    pkt.is_window_update = s.is_window_update;
+    pkt.size_bytes = s.size_bytes;
+    pkt.ts_echo = s.ts_echo;
+    pkt.is_retransmit = s.is_retransmit;
+    pkt.resume(*s.route, s.next_hop);
+    // The conservative window guarantees send_time + delay is still in the
+    // destination shard's future; receive_shipped re-checks it.
+    pipe_.receive_shipped(pkt, s.send_time);
+  }
+  mailbox_.clear();
+}
+
+}  // namespace mpsim::net

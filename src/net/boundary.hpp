@@ -1,0 +1,93 @@
+// Shard-boundary packet handoff.
+//
+// A BoundarySink sits between a queue and the pipe that models the link's
+// propagation, as an extra route hop. It is a PacketSink but deliberately
+// NOT an EventSource: it never schedules, so its presence cannot perturb
+// the canonical (order id, seq) event keys — which is what lets topology
+// builders insert a boundary into *every* link and keep construction (and
+// therefore every id and every trace byte) identical at any shard count.
+//
+// Same-shard boundaries pass straight through: receive() forwards to the
+// pipe inline, exactly as if the queue fed the pipe directly. Cross-shard
+// boundaries *ship*: the packet's POD fields and route position are copied
+// into a mailbox entry stamped with the send time, the source-shard packet
+// is released to its own pool, and — after the next window barrier — the
+// destination shard drains the mailbox on its own thread, re-allocates
+// each packet from its own pool and hands it to the pipe as if it had
+// entered the wire at the stamped time. The mailbox is a plain vector:
+// its single producer only appends during execute phases and its single
+// consumer only reads during drain phases, which the ShardGroup barrier
+// orders (see core/shard.hpp).
+//
+// The wire-reference ledger (Packet::wire_refs) stays home-shard-only: a
+// shipped packet's pointer is dropped rather than carried, because every
+// later release could happen on a foreign thread (a drop at a foreign
+// queue) and the counter is not atomic. Multi-shard runs restrict traffic
+// to static flow sets (scenario::Engine enforces it), where nothing reads
+// the counter, so the ledger simply over-counts by the shipped packets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/shard.hpp"
+#include "core/time.hpp"
+#include "net/packet.hpp"
+#include "net/pipe.hpp"
+
+namespace mpsim::net {
+
+// POD snapshot of a packet crossing a shard boundary. send_time == kNever
+// marks an unstamped entry; the drain MPSIM_CHECKs against it (and the
+// mutation suite verifies the check fires).
+struct ShippedPacket {
+  SimTime send_time = kNever;
+  const Route* route = nullptr;
+  std::uint32_t next_hop = 0;
+  PacketType type = PacketType::kData;
+  std::uint32_t flow_id = 0;
+  std::uint32_t subflow_id = 0;
+  std::uint64_t subflow_seq = 0;
+  std::uint64_t data_seq = 0;
+  std::uint64_t subflow_cum_ack = 0;
+  std::uint64_t data_cum_ack = 0;
+  std::uint64_t rcv_window = 0;
+  bool is_window_update = false;
+  std::uint32_t size_bytes = kDataPacketBytes;
+  SimTime ts_echo = 0;
+  bool is_retransmit = false;
+};
+
+class BoundarySink final : public PacketSink {
+ public:
+  // Same-shard boundary: inline pass-through into `pipe`.
+  BoundarySink(std::string name, EventList& src_events, Pipe& pipe);
+  // Cross-shard boundary: mailbox handoff from src_events' shard to the
+  // shard owning `pipe` (and `dst_events`). Registers this mailbox's drain
+  // and the pipe's delay (the edge lookahead) with the group.
+  BoundarySink(std::string name, EventList& src_events, Pipe& pipe,
+               ShardGroup& group, int dst_shard);
+
+  void receive(Packet& pkt) override;
+  const std::string& sink_name() const override { return name_; }
+
+  bool cross_shard() const { return cross_; }
+
+  // Ingest everything shipped since the last drain (destination-shard
+  // thread only; the window barrier separates it from the producer).
+  void drain();
+
+  // Mutation-test hook: enqueue an entry with no (time, seq) stamp, which
+  // the next drain must reject.
+  void push_unstamped_for_test() { mailbox_.emplace_back(); }
+
+ private:
+  std::string name_;
+  EventList& src_events_;
+  Pipe& pipe_;
+  EventList* dst_events_ = nullptr;  // non-null iff cross-shard
+  bool cross_ = false;
+  std::vector<ShippedPacket> mailbox_;
+};
+
+}  // namespace mpsim::net

@@ -8,7 +8,7 @@ OnOffCbrSource::OnOffCbrSource(EventList& events, std::string name,
                                const Route& route, double rate_bps,
                                SimTime mean_on, SimTime mean_off,
                                std::uint64_t seed)
-    : EventSource(std::move(name)),
+    : EventSource(events, std::move(name)),
       events_(events),
       route_(route),
       rate_bps_(rate_bps),

@@ -1,32 +1,72 @@
 #include "net/pipe.hpp"
 
 #include "core/check.hpp"
+#include "core/env.hpp"
 
 namespace mpsim::net {
 
+bool Pipe::default_batched() {
+  static const bool batched =
+      env::env_choice("MPSIM_BATCH_SERVICE", "on", {"on", "off"}) == "on";
+  return batched;
+}
+
 Pipe::Pipe(EventList& events, std::string name, SimTime delay)
-    : EventSource(std::move(name)), events_(events), delay_(delay) {
+    : EventSource(events, std::move(name)),
+      events_(events),
+      delay_(delay),
+      batched_(default_batched()) {
   MPSIM_CHECK(delay_ >= 0, "propagation delay must be non-negative");
 }
 
-void Pipe::receive(Packet& pkt) {
-  const SimTime deliver_at = events_.now() + delay_;
+void Pipe::admit(Packet& pkt, SimTime deliver_at) {
+  MPSIM_CHECK(deliver_at >= events_.now(),
+              "pipe delivery must not precede the local clock");
+  MPSIM_CHECK(in_flight_.empty() || deliver_at >= in_flight_.back()->link_due,
+              "pipe deliveries must stay FIFO");
+  const bool was_empty = in_flight_.empty();
   pkt.link_due = deliver_at;
   // Intrusive PacketFifo: links through the packet's embedded pointers,
   // no heap allocation despite the container-idiom name.
   // mpsim-analyze: allow(hot-alloc)
   in_flight_.push_back(pkt);
-  events_.schedule_at(*this, deliver_at);
+  // Head-armed: one pending wake per pipe, at the head's delivery time;
+  // on_event re-arms after each batch, so a push onto a non-empty fifo
+  // never needs to schedule. Legacy: one wake per packet.
+  if (batched_ ? was_empty : true) events_.schedule_at(*this, deliver_at);
+}
+
+void Pipe::receive(Packet& pkt) { admit(pkt, events_.now() + delay_); }
+
+void Pipe::receive_shipped(Packet& pkt, SimTime sent_at) {
+  admit(pkt, sent_at + delay_);
 }
 
 void Pipe::on_event() {
-  // One wake-up was scheduled per packet, so exactly the due head is
-  // delivered here; arrivals are FIFO because delay is constant.
   MPSIM_CHECK(!in_flight_.empty(), "pipe wake-up with nothing in flight");
-  Packet* pkt = in_flight_.pop_front();
-  MPSIM_CHECK(pkt->link_due == events_.now(),
+  if (!batched_) {
+    // One wake-up was scheduled per packet, so exactly the due head is
+    // delivered here; arrivals are FIFO because delay is constant.
+    Packet* pkt = in_flight_.pop_front();
+    MPSIM_CHECK(pkt->link_due == events_.now(),
+                "pipe delivery must fire exactly on time");
+    pkt->advance();
+    return;
+  }
+  // Deliver the entire due-now prefix, then re-arm at the new head. A
+  // delivery's downstream effects may push more packets onto this pipe at
+  // the same instant (zero-delay paths); the loop re-tests the head so
+  // those go out in this same dispatch — exactly where their canonical
+  // keys would have dispatched them in legacy mode (key adjacency).
+  MPSIM_CHECK(in_flight_.front()->link_due == events_.now(),
               "pipe delivery must fire exactly on time");
-  pkt->advance();
+  while (!in_flight_.empty() &&
+         in_flight_.front()->link_due == events_.now()) {
+    in_flight_.pop_front()->advance();
+  }
+  if (!in_flight_.empty()) {
+    events_.schedule_at(*this, in_flight_.front()->link_due);
+  }
 }
 
 }  // namespace mpsim::net

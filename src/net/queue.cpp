@@ -8,7 +8,7 @@ namespace mpsim::net {
 
 Queue::Queue(EventList& events, std::string name, double rate_bps,
              std::uint64_t max_bytes)
-    : EventSource(std::move(name)),
+    : EventSource(events, std::move(name)),
       events_(events),
       rate_bps_(rate_bps),
       max_bytes_(max_bytes),

@@ -107,7 +107,7 @@ void VariableRateQueue::on_event() {
 
 RateSchedule::RateSchedule(EventList& events, VariableRateQueue& target,
                            std::vector<Change> changes)
-    : EventSource("rate-schedule[" + target.sink_name() + "]"),
+    : EventSource(events, "rate-schedule[" + target.sink_name() + "]"),
       events_(events),
       target_(target),
       changes_(std::move(changes)) {

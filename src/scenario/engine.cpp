@@ -179,6 +179,7 @@ void Scenario::validate(double time_scale) const {
 std::vector<runner::RunResult> Scenario::run(const EngineOptions& opts) const {
   runner::RunnerConfig rcfg;
   rcfg.threads = opts.threads;
+  rcfg.shard_threads = opts.shard_threads;
   rcfg.trace_sink = opts.trace_sink;
   rcfg.trace_dir = opts.trace_dir;
   rcfg.trace_capacity = opts.trace_capacity;
@@ -222,7 +223,7 @@ class GoodputSampler final : public EventSource {
   GoodputSampler(EventList& events, trace::TraceRecorder& rec,
                  std::vector<const mptcp::MptcpConnection*> conns,
                  SimTime interval)
-      : EventSource("scenario/sampler"),
+      : EventSource(events, "scenario/sampler"),
         events_(events),
         rec_(rec),
         conns_(std::move(conns)),
@@ -366,8 +367,9 @@ void execute_run(const ResolvedRun& run, double time_scale,
 
   // Construction mirrors the bench binaries exactly: recorder (installed
   // by the runner before this function), then Network, topology, meter,
-  // then connections in flow order.
-  topo::Network net(ctx.events());
+  // then connections in flow order. The network sees the run's shard
+  // group; with one shard every element lands on ctx.events() as before.
+  topo::Network net(ctx.events(), &ctx.shards());
   const Section& topo_sec = spec.require_section("topology");
   auto topology =
       reg.topology(topo_sec.get_string("kind"), topo_sec)(net, topo_sec, env);
@@ -399,6 +401,20 @@ void execute_run(const ResolvedRun& run, double time_scale,
     faults = parse_fault_plan(*faults_sec, net.fault_targets(), env);
   }
 
+  // Sharded execution supports static flow sets only: mid-run construction
+  // (Poisson arrivals, churn) and fault injection both act from one shard
+  // on state owned by others, which the conservative windows do not order.
+  if (net.multi_shard()) {
+    if (faults_sec != nullptr) {
+      faults_sec->fail("[faults] is not supported with --shard-threads > 1");
+    }
+    if (traffic->builds_during_run()) {
+      traffic_sec.fail("traffic kind '" + traffic_sec.get_string("kind") +
+                       "' builds flows during the run; not supported with "
+                       "--shard-threads > 1");
+    }
+  }
+
   // Every key must have been read by now — a typo dies here, in dry runs
   // and real ones alike.
   spec.check_all_used();
@@ -415,20 +431,29 @@ void execute_run(const ResolvedRun& run, double time_scale,
         recovery.get());
   }
 
-  ctx.events().run_until(warmup);
+  ctx.run_until(warmup);
   for (auto* q : topology->queues()) q->reset_stats();
   meter.mark();
 
-  std::unique_ptr<GoodputSampler> sampler;
+  // One sampler per connection, on the connection's home EventList — a
+  // sampler reads its connection's delivered counter every interval, which
+  // must happen on the shard that owns it. The per-connection split (vs
+  // one sampler for all) holds at one shard too, so the object-construction
+  // sequence is identical across shard counts.
+  std::vector<std::unique_ptr<GoodputSampler>> samplers;
   if (sample_interval > 0) {
-    if (trace::TraceRecorder* rec =
-            trace::TraceRecorder::find(ctx.events())) {
-      sampler = std::make_unique<GoodputSampler>(ctx.events(), *rec, conns,
-                                                 sample_interval);
+    for (const auto* c : conns) {
+      if (trace::TraceRecorder* rec =
+              trace::TraceRecorder::find(c->events())) {
+        samplers.push_back(std::make_unique<GoodputSampler>(
+            c->events(), *rec,
+            std::vector<const mptcp::MptcpConnection*>{c},
+            sample_interval));
+      }
     }
   }
 
-  ctx.events().run_until(warmup + measure);
+  ctx.run_until(warmup + measure);
 
   const std::vector<double> mbps = meter.mbps();
   const auto queues = topology->queues();

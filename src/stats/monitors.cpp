@@ -7,7 +7,7 @@ namespace mpsim::stats {
 PeriodicSampler::PeriodicSampler(EventList& events, std::string name,
                                  SimTime interval,
                                  std::function<void(SimTime)> fn)
-    : EventSource(std::move(name)),
+    : EventSource(events, std::move(name)),
       events_(events),
       interval_(interval),
       fn_(std::move(fn)) {}

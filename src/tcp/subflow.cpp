@@ -12,7 +12,7 @@ namespace mpsim::tcp {
 Subflow::Subflow(EventList& events, std::string name, SubflowHost& host,
                  std::uint32_t flow_id, std::uint32_t subflow_id,
                  const SubflowConfig& cfg)
-    : EventSource(std::move(name)),
+    : EventSource(events, std::move(name)),
       events_(events),
       host_(host),
       flow_id_(flow_id),

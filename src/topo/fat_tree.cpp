@@ -14,41 +14,49 @@ FatTree::FatTree(Network& net, int k, double link_rate_bps,
   const int pods = k_;
   const int cores = half_k_ * half_k_;
 
-  auto mk = [&](const std::string& name) {
-    return net_.add_link(name, link_rate_bps, per_hop_delay_, buf_bytes);
+  auto mk = [&](const std::string& name, int src_shard, int dst_shard) {
+    return net_.add_link(name, link_rate_bps, per_hop_delay_, buf_bytes,
+                         src_shard, dst_shard);
   };
 
   host_up_.reserve(hosts);
   host_down_.reserve(hosts);
   for (int h = 0; h < hosts; ++h) {
-    host_up_.push_back(mk("ft/h" + std::to_string(h) + "/up"));
-    host_down_.push_back(mk("ft/h" + std::to_string(h) + "/down"));
+    const int s = shard_of_pod(pod_of(h));
+    host_up_.push_back(mk("ft/h" + std::to_string(h) + "/up", s, s));
+    host_down_.push_back(mk("ft/h" + std::to_string(h) + "/down", s, s));
   }
 
   edge_agg_.resize(pods);
   agg_edge_.resize(pods);
   agg_core_.resize(pods);
   for (int p = 0; p < pods; ++p) {
+    const int sp = shard_of_pod(p);
     edge_agg_[p].resize(half_k_);
     agg_edge_[p].resize(half_k_);
     agg_core_[p].resize(half_k_);
     for (int e = 0; e < half_k_; ++e) {
       for (int a = 0; a < half_k_; ++a) {
         edge_agg_[p][e].push_back(mk("ft/p" + std::to_string(p) + "/e" +
-                                     std::to_string(e) + "-a" +
-                                     std::to_string(a)));
+                                         std::to_string(e) + "-a" +
+                                         std::to_string(a),
+                                     sp, sp));
       }
     }
     for (int a = 0; a < half_k_; ++a) {
       for (int e = 0; e < half_k_; ++e) {
         agg_edge_[p][a].push_back(mk("ft/p" + std::to_string(p) + "/a" +
-                                     std::to_string(a) + "-e" +
-                                     std::to_string(e)));
+                                         std::to_string(a) + "-e" +
+                                         std::to_string(e),
+                                     sp, sp));
       }
+      // Aggregation -> core links are the upward cross-shard edges; their
+      // propagation delay is the group's conservative lookahead.
       for (int c = 0; c < half_k_; ++c) {
         agg_core_[p][a].push_back(mk("ft/p" + std::to_string(p) + "/a" +
-                                     std::to_string(a) + "-c" +
-                                     std::to_string(c)));
+                                         std::to_string(a) + "-c" +
+                                         std::to_string(c),
+                                     sp, shard_of_core(a * half_k_ + c)));
       }
     }
   }
@@ -57,12 +65,13 @@ FatTree::FatTree(Network& net, int k, double link_rate_bps,
   for (int c = 0; c < cores; ++c) {
     for (int p = 0; p < pods; ++p) {
       core_agg_[c].push_back(
-          mk("ft/c" + std::to_string(c) + "-p" + std::to_string(p)));
+          mk("ft/c" + std::to_string(c) + "-p" + std::to_string(p),
+             shard_of_core(c), shard_of_pod(p)));
     }
   }
 }
 
-std::vector<Path> FatTree::paths(int src, int dst) const {
+std::vector<Path> FatTree::paths(int src, int dst) {
   MPSIM_CHECK(src != dst && src >= 0 && dst >= 0 && src < num_hosts() &&
                   dst < num_hosts(),
               "host indices out of range or equal");
@@ -70,11 +79,27 @@ std::vector<Path> FatTree::paths(int src, int dst) const {
   const int es = edge_of(src), ed = edge_of(dst);
   std::vector<Path> out;
 
+  // Terminal hop: the dst host's access link, re-homed so delivery lands
+  // on src's shard, where the connection's receiver runs. One pipe +
+  // boundary per paths() call (shared by all paths returned — they all end
+  // at the same host), created unconditionally so the element count, and
+  // with it every object id, is independent of the shard layout.
+  const int home = shard_of_pod(ps);
+  const std::string dname = "ft/dlv" + std::to_string(dlv_count_++);
+  net::Pipe& dlv_pipe =
+      net_.add_pipe(net_.shard_events(home), dname + "/p", per_hop_delay_);
+  net::BoundarySink& dlv = net_.add_boundary(
+      dname + "/b", net_.shard_events(shard_of_pod(pd)), dlv_pipe, home);
+  auto append_delivery = [&](Path& p) {
+    p.push_back(host_down_[dst].queue);
+    p.push_back(&dlv);
+  };
+
   if (ps == pd && es == ed) {
     // Same edge switch: one two-hop path through it.
     Path p;
     append_link(p, host_up_[src]);
-    append_link(p, host_down_[dst]);
+    append_delivery(p);
     out.push_back(std::move(p));
     return out;
   }
@@ -86,7 +111,7 @@ std::vector<Path> FatTree::paths(int src, int dst) const {
       append_link(p, host_up_[src]);
       append_link(p, edge_agg_[ps][es][a]);
       append_link(p, agg_edge_[ps][a][ed]);
-      append_link(p, host_down_[dst]);
+      append_delivery(p);
       out.push_back(std::move(p));
     }
     return out;
@@ -103,15 +128,14 @@ std::vector<Path> FatTree::paths(int src, int dst) const {
       append_link(p, agg_core_[ps][a][i]);
       append_link(p, core_agg_[core][pd]);
       append_link(p, agg_edge_[pd][a][ed]);
-      append_link(p, host_down_[dst]);
+      append_delivery(p);
       out.push_back(std::move(p));
     }
   }
   return out;
 }
 
-std::vector<Path> FatTree::sample_paths(int src, int dst, int n,
-                                        Rng& rng) const {
+std::vector<Path> FatTree::sample_paths(int src, int dst, int n, Rng& rng) {
   std::vector<Path> all = paths(src, dst);
   if (static_cast<int>(all.size()) <= n) return all;
   rng.shuffle(all.data(), all.size());
@@ -119,18 +143,19 @@ std::vector<Path> FatTree::sample_paths(int src, int dst, int n,
   return all;
 }
 
-Path FatTree::ack_path(const Path& fwd) {
-  // Forward paths alternate queue/pipe, so hops = size/2; the ACK pipe
-  // carries the same total propagation delay. One shared pipe per delay.
+Path FatTree::ack_path(const Path& fwd, int src) {
+  // Forward paths alternate queue/boundary, so hops = size/2; the ACK pipe
+  // carries the same total propagation delay. One pipe per call, on src's
+  // home shard (sharing pipes across connections would make the element
+  // count depend on which delays coincide — fine sequentially, but the
+  // count must not change when pods spread across shards and pipes can no
+  // longer be shared; per-call pipes keep ids layout-invariant).
   const SimTime delay =
       per_hop_delay_ * static_cast<SimTime>(fwd.size() / 2);
-  auto it = ack_pipes_.find(delay);
-  if (it == ack_pipes_.end()) {
-    net::Pipe& pipe =
-        net_.add_pipe("ft/ack" + std::to_string(to_us(delay)), delay);
-    it = ack_pipes_.emplace(delay, &pipe).first;
-  }
-  return {it->second};
+  net::Pipe& pipe = net_.add_pipe(
+      net_.shard_events(shard_of_pod(pod_of(src))),
+      "ft/ack" + std::to_string(ack_count_++), delay);
+  return {&pipe};
 }
 
 std::vector<const net::Queue*> FatTree::access_queues() const {
@@ -160,7 +185,7 @@ std::vector<PathPair> sample_path_pairs(FatTree& ft, int src, int dst, int n,
                                         Rng& rng) {
   std::vector<PathPair> out;
   for (auto& p : ft.sample_paths(src, dst, n, rng)) {
-    auto rev = ft.ack_path(p);
+    auto rev = ft.ack_path(p, src);
     out.emplace_back(std::move(p), std::move(rev));
   }
   return out;

@@ -83,6 +83,14 @@ struct Record {
   std::uint64_t b = 0;      // integer payload
   double x = 0.0;           // real payload
   double y = 0.0;           // real payload
+  // Merge-order stamps, filled by TraceRecorder::append_unchecked and never
+  // emitted by sinks: the canonical dispatch key of the event that recorded
+  // this (0 before the run starts, all-ones for out-of-band emissions
+  // between run phases) and a sequence number within that stamp group.
+  // Sorting a multi-shard run's rings by (t, okey, oseq) reproduces the
+  // sequential emission order exactly — see TraceRecorder::flush_merged.
+  std::uint64_t okey = 0;
+  std::uint64_t oseq = 0;
 };
 
 // --- builders -------------------------------------------------------------

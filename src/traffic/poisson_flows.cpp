@@ -10,7 +10,7 @@ PoissonFlowGenerator::PoissonFlowGenerator(EventList& events,
                                            std::string name,
                                            const PoissonConfig& cfg,
                                            Factory factory)
-    : EventSource(std::move(name)),
+    : EventSource(events, std::move(name)),
       events_(events),
       cfg_(cfg),
       factory_(std::move(factory)),

@@ -95,7 +95,7 @@ TEST(Determinism, SchedulerChurnEquivalence) {
   struct Churner : EventSource {
     Churner(EventList& e, int id, std::vector<std::pair<SimTime, int>>& log,
             std::uint64_t seed)
-        : EventSource("churn" + std::to_string(id)),
+        : EventSource(e, "churn" + std::to_string(id)),
           events(e),
           id(id),
           log(log),

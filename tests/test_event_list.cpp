@@ -13,7 +13,7 @@ namespace {
 class Recorder : public EventSource {
  public:
   explicit Recorder(EventList& events, std::string name = "rec")
-      : EventSource(std::move(name)), events_(events) {}
+      : EventSource(events, std::move(name)), events_(events) {}
   void on_event() override { fired.push_back(events_.now()); }
   std::vector<SimTime> fired;
 
@@ -77,19 +77,45 @@ TEST_P(EventListTest, EventsFireInTimeOrder) {
   EXPECT_EQ(r.fired[2], from_ms(30));
 }
 
-TEST_P(EventListTest, TiesBreakInInsertionOrder) {
+TEST_P(EventListTest, TiesBreakInCanonicalSourceOrder) {
   Recorder a(events, "a"), b(events, "b"), c(events, "c");
-  // Wrap via three recorders and check FIFO by name after the run.
+  // Same-time ties dispatch by the canonical (source order id, per-source
+  // seq) key: source construction order wins, NOT global insertion order.
+  // That key is a pure function of the simulation's construction and
+  // dispatch history — never of which thread or shard ran schedule_at —
+  // which is what makes sharded execution byte-identical to sequential.
   events.schedule_at(b, from_ms(1));
   events.schedule_at(a, from_ms(1));
   events.schedule_at(c, from_ms(1));
   // Recorders record times only, so instead drive one at a time.
   EXPECT_TRUE(events.run_one());
-  EXPECT_EQ(b.fired.size(), 1u);  // b scheduled first wins the tie
+  EXPECT_EQ(a.fired.size(), 1u) << "a constructed first wins the tie";
   EXPECT_TRUE(events.run_one());
-  EXPECT_EQ(a.fired.size(), 1u);
+  EXPECT_EQ(b.fired.size(), 1u);
   EXPECT_TRUE(events.run_one());
   EXPECT_EQ(c.fired.size(), 1u);
+}
+
+TEST_P(EventListTest, SameSourceTiesBreakInScheduleOrder) {
+  // Within one source the per-source counter preserves FIFO: two events
+  // at the same instant fire in the order they were scheduled.
+  struct Tagged : EventSource {
+    Tagged(EventList& e, std::vector<int>& log) :
+        EventSource(e, "tagged"), log_(log) {}
+    void on_event() override { log_.push_back(next_tag_++); }
+    std::vector<int>& log_;
+    int next_tag_ = 0;
+  };
+  std::vector<int> log;
+  Tagged t(events, log);
+  events.schedule_at(t, from_ms(1));
+  events.schedule_at(t, from_ms(1));
+  events.schedule_at(t, from_ms(1));
+  events.run_all();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], 0);
+  EXPECT_EQ(log[1], 1);
+  EXPECT_EQ(log[2], 2);
 }
 
 TEST_P(EventListTest, ScheduleInIsRelativeToNow) {
@@ -131,7 +157,7 @@ TEST_P(EventListTest, ScheduleAfterIdleRunUntil) {
 
 TEST_P(EventListTest, EventScheduledDuringDispatchRuns) {
   struct Chain : EventSource {
-    Chain(EventList& e) : EventSource("chain"), events(e) {}
+    Chain(EventList& e) : EventSource(e, "chain"), events(e) {}
     void on_event() override {
       ++count;
       if (count < 5) events.schedule_in(*this, from_ms(1));
@@ -238,9 +264,9 @@ TEST(EventList, AdaptiveCooldownSuppressesThrash) {
   ASSERT_EQ(r.fired.size(), 4u);
 }
 
-// Events migrated heap -> wheel keep their FIFO tie-break: same-time
-// events fire in original insertion order even though the migration
-// re-inserted them.
+// Events migrated heap -> wheel keep their canonical tie-break: same-time
+// events still fire in (source order id, per-source seq) order even though
+// the migration re-inserted them in heap-pop order.
 TEST(EventList, AdaptiveMigrationPreservesTieOrder) {
   ScopedThrowingChecks guard;
   EventList events(SchedulerKind::kAdaptive);
@@ -251,9 +277,9 @@ TEST(EventList, AdaptiveMigrationPreservesTieOrder) {
   events.schedule_at(c, from_ms(1));  // third insert triggers migration
   EXPECT_EQ(events.active_backend(), SchedulerKind::kWheel);
   EXPECT_TRUE(events.run_one());
-  EXPECT_EQ(b.fired.size(), 1u) << "b scheduled first wins the tie";
+  EXPECT_EQ(a.fired.size(), 1u) << "a constructed first wins the tie";
   EXPECT_TRUE(events.run_one());
-  EXPECT_EQ(a.fired.size(), 1u);
+  EXPECT_EQ(b.fired.size(), 1u);
   EXPECT_TRUE(events.run_one());
   EXPECT_EQ(c.fired.size(), 1u);
 }

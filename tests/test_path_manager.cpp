@@ -176,8 +176,11 @@ TEST(PathManager, RtoDeadSubflowIsDroppedAndReprobed) {
   events.run_until(from_sec(6));
   // The drop -> backoff -> re-probe -> still-dead cycle may complete more
   // than once inside a 4 s outage; at least one full drop must have fired.
+  // (Whether subflow 1 is *currently* active at the 6 s sample depends on
+  // which phase of that cycle the instant lands in — a re-probe attempt
+  // holds it nominally active until its RTOs declare it dead again — so
+  // the cycle is asserted through the drop/re-probe counters instead.)
   EXPECT_GE(pm.subflows_dropped(), 1u);
-  EXPECT_FALSE(mp.subflow(1).active());
   EXPECT_GT(mp.subflow(0).packets_acked(), survivor_before)
       << "the survivor must keep the stream moving through the outage";
   // The backoff (1 s) expires inside the 4 s outage, so at least one

@@ -55,7 +55,7 @@ TEST(Pipe, PreservesOrderAndSpacing) {
 
   // Inject at t=0 and t=3ms via a helper event source.
   struct Injector : EventSource {
-    Injector(EventList& e, const Route& r) : EventSource("inj"), events(e), route(r) {}
+    Injector(EventList& e, const Route& r) : EventSource(e, "inj"), events(e), route(r) {}
     void on_event() override {
       Packet& p = Packet::alloc(events);
       p.data_seq = static_cast<std::uint64_t>(count++);

@@ -59,7 +59,7 @@ TEST(Monitors, CounterSeriesComputesDeltas) {
   series.start(0);
   // Counter grows by 10 per 100 ms via a driver event.
   struct Driver : EventSource {
-    Driver(EventList& e, std::uint64_t& c) : EventSource("d"), ev(e), c(c) {}
+    Driver(EventList& e, std::uint64_t& c) : EventSource(e, "d"), ev(e), c(c) {}
     void on_event() override {
       c += 10;
       if (++n < 20) ev.schedule_in(*this, from_ms(100));
@@ -156,7 +156,7 @@ TEST(Monitors, CounterSeriesMeanRateAcrossStopRestart) {
   CounterSeries series(events, "s", from_ms(100), [&] { return counter; });
   // Counter grows by 10 every 100 ms for the whole run, sampled or not.
   struct Driver : EventSource {
-    Driver(EventList& e, std::uint64_t& c) : EventSource("d"), ev(e), c(c) {}
+    Driver(EventList& e, std::uint64_t& c) : EventSource(e, "d"), ev(e), c(c) {}
     void on_event() override {
       c += 10;
       if (++n < 60) ev.schedule_in(*this, from_ms(100));

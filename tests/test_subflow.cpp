@@ -89,10 +89,13 @@ TEST(Subflow, CwndSawtoothStaysNearBdp) {
   tcp->start(0);
   events.run_until(from_sec(15));
   // BDP = 10e6/8 * 0.02 / 1500 ~= 16.7 pkts; with 1 BDP of buffer the
-  // window oscillates between ~BDP and ~2 BDP.
+  // congestion window oscillates between ~BDP and ~2 BDP. The sample
+  // instant is an arbitrary phase of the sawtooth, and mid-recovery the
+  // reported cwnd is inflated by one per dupack (RFC 5681), so the
+  // instantaneous ceiling is ssthresh + ~2 BDP ~= 3 BDP, not 2 BDP.
   const double w = tcp->subflow(0).cwnd();
   EXPECT_GT(w, 8.0);
-  EXPECT_LT(w, 40.0);
+  EXPECT_LT(w, 52.0);
 }
 
 TEST(Subflow, RttEstimateMatchesPathRtt) {

@@ -19,8 +19,8 @@ Packet& make_data(EventList& events) {
 // Helper event that changes the rate of a queue at a scheduled time.
 class RateChanger : public EventSource {
  public:
-  RateChanger(VariableRateQueue& q, double rate)
-      : EventSource("chg"), q_(q), rate_(rate) {}
+  RateChanger(EventList& e, VariableRateQueue& q, double rate)
+      : EventSource(e, "chg"), q_(q), rate_(rate) {}
   void on_event() override { q_.set_rate(rate_); }
 
  private:
@@ -47,7 +47,7 @@ TEST(VariableRateQueue, RateChangeMidServiceRescales) {
   VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
   make_data(events).send_on(route);
-  RateChanger slow(q, 6e6);
+  RateChanger slow(events, q, 6e6);
   events.schedule_at(slow, from_us(500));
   events.run_all();
   EXPECT_EQ(sink.packets(), 1u);
@@ -70,7 +70,7 @@ TEST(VariableRateQueue, SpeedupMidServiceFinishesEarlier) {
   VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
   make_data(events).send_on(route);
-  RateChanger fast(q, 24e6);
+  RateChanger fast(events, q, 24e6);
   events.schedule_at(fast, from_us(500));
   events.run_all();
   // Half done at 0.5 ms; remaining half at double speed takes 0.25 ms.
@@ -85,8 +85,8 @@ TEST(VariableRateQueue, OutageFreezesAndResumes) {
   VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
   make_data(events).send_on(route);
-  RateChanger off(q, 0.0);
-  RateChanger on(q, 12e6);
+  RateChanger off(events, q, 0.0);
+  RateChanger on(events, q, 12e6);
   events.schedule_at(off, from_us(500));
   events.schedule_at(on, from_ms(10));
   events.run_all();
@@ -105,7 +105,7 @@ TEST(VariableRateQueue, ArrivalsDuringOutageQueueUp) {
   q.set_rate(0.0);
   for (int i = 0; i < 5; ++i) make_data(events).send_on(route);
   EXPECT_EQ(q.queued_packets(), 5u);
-  RateChanger on(q, 12e6);
+  RateChanger on(events, q, 12e6);
   events.schedule_at(on, from_ms(100));
   events.run_all();
   EXPECT_EQ(sink.packets(), 5u);
@@ -134,14 +134,14 @@ TEST(VariableRateQueue, ExtremeRateMidServiceStaysFinite) {
   VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
   make_data(events).send_on(route);
-  RateChanger warp(q, 1e15);  // sub-nanosecond residual service time
+  RateChanger warp(events, q, 1e15);  // sub-nanosecond residual service time
   events.schedule_at(warp, from_us(500));
   events.run_all();
   EXPECT_EQ(sink.packets(), 1u);
 
   // The queue keeps working afterwards: a second packet at a sane rate
   // serves in the normal 1 ms.
-  RateChanger sane(q, 12e6);
+  RateChanger sane(events, q, 12e6);
   events.schedule_at(sane, events.now() + 1);
   events.run_all();
   const SimTime before = events.now();
@@ -160,10 +160,10 @@ TEST(VariableRateQueue, RepeatedZeroAndExtremeFlipsStayConsistent) {
   VariableRateQueue q(events, "vq", 12e6, 100 * kDataPacketBytes);
   Route route({&q, &sink});
   for (int i = 0; i < 3; ++i) make_data(events).send_on(route);
-  RateChanger off1(q, 0.0);
-  RateChanger warp(q, 1e15);
-  RateChanger off2(q, 0.0);
-  RateChanger norm(q, 12e6);
+  RateChanger off1(events, q, 0.0);
+  RateChanger warp(events, q, 1e15);
+  RateChanger off2(events, q, 0.0);
+  RateChanger norm(events, q, 12e6);
   events.schedule_at(off1, from_us(300));
   events.schedule_at(warp, from_us(900));
   events.schedule_at(off2, from_us(901));
